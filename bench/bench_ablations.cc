@@ -1,0 +1,123 @@
+// Experiment E14 — ablations of the design choices DESIGN.md §6 calls out.  These are
+// not paper tables; they quantify the decisions the paper (and this reconstruction)
+// made, on the 1986-scale synthetic map:
+//
+//   A. hop tie-break — "it is important to keep paths short": with and without the
+//      shorter-path preference on cost ties, measuring the route-length distribution;
+//   B. heap storage reuse — building the heap in the retired hash table vs allocating:
+//      mapping time and arena growth;
+//   C. two-label second-best mode — what the §Problems fix costs in time and labels,
+//      and how many penalized routes it repairs;
+//   D. back-link passes — already timed in E12; included here as route-quality counts.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/core/pathalias.h"
+
+namespace {
+
+using namespace pathalias;
+
+struct Prepared {
+  Diagnostics diag;
+  std::unique_ptr<Graph> graph;
+};
+
+std::unique_ptr<Prepared> ParseUsenet() {
+  auto prepared = std::make_unique<Prepared>();
+  prepared->graph = std::make_unique<Graph>(&prepared->diag);
+  Parser parser(prepared->graph.get());
+  parser.ParseFiles(bench::UsenetMap().files);
+  prepared->graph->SetLocal(bench::UsenetMap().local);
+  return prepared;
+}
+
+void BM_MapHopTiebreak(benchmark::State& state) {
+  double average_hops = 0;
+  size_t max_hops = 0;
+  for (auto _ : state) {
+    auto prepared = ParseUsenet();
+    MapOptions options;
+    options.prefer_fewer_hops = state.range(0) != 0;
+    Mapper mapper(prepared->graph.get(), options);
+    Mapper::Result result = mapper.Run();
+    uint64_t hops = 0;
+    size_t hosts = 0;
+    max_hops = 0;
+    for (const Node* node : prepared->graph->nodes()) {
+      if (!node->placeholder() && node->cost != kUnreached) {
+        hops += static_cast<uint64_t>(node->hops);
+        max_hops = std::max(max_hops, static_cast<size_t>(node->hops));
+        ++hosts;
+      }
+    }
+    average_hops = hosts == 0 ? 0 : static_cast<double>(hops) / static_cast<double>(hosts);
+    benchmark::DoNotOptimize(result.mapped_hosts);
+  }
+  state.counters["avg_hops"] = average_hops;
+  state.counters["max_hops"] = static_cast<double>(max_hops);
+}
+
+void BM_MapHeapStorage(benchmark::State& state) {
+  bool reuse = state.range(0) != 0;
+  size_t arena_kib = 0;
+  for (auto _ : state) {
+    auto prepared = ParseUsenet();  // stealing is one-shot: fresh graph per iteration
+    MapOptions options;
+    options.reuse_hash_table_storage = reuse;
+    Mapper mapper(prepared->graph.get(), options);
+    Mapper::Result result = mapper.Run();
+    arena_kib = prepared->graph->arena().stats().bytes_reserved / 1024;
+    benchmark::DoNotOptimize(result.heap_storage_reused);
+  }
+  state.counters["arena_KiB"] = static_cast<double>(arena_kib);
+}
+
+void BM_MapTwoLabel(benchmark::State& state) {
+  size_t labels = 0;
+  size_t penalized = 0;
+  for (auto _ : state) {
+    // Fresh graph per iteration: back-link invention mutates the graph, and carrying
+    // those links into the next run would flatter it.
+    auto prepared = ParseUsenet();
+    MapOptions options;
+    options.two_label = state.range(0) != 0;
+    Mapper mapper(prepared->graph.get(), options);
+    Mapper::Result result = mapper.Run();
+    labels = result.label_count;
+    penalized = result.penalized_routes;
+    benchmark::DoNotOptimize(result.mapped_hosts);
+  }
+  state.counters["labels"] = static_cast<double>(labels);
+  state.counters["penalized_routes"] = static_cast<double>(penalized);
+}
+
+}  // namespace
+
+BENCHMARK(BM_MapHopTiebreak)->Name("tiebreak/cost_only")->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapHopTiebreak)->Name("tiebreak/prefer_fewer_hops")->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapHeapStorage)->Name("heap_storage/allocate")->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapHeapStorage)->Name("heap_storage/reuse_hash_table")->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapTwoLabel)->Name("labels/single_1986")->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MapTwoLabel)->Name("labels/two_label_second_best")->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  pathalias::bench::PrintHeader(
+      "E14: ablations of reconstruction design choices",
+      "hop tie-break keeps paths short at no cost; heap-in-hash-table saves an "
+      "allocation; two-label mode repairs penalized routes for a bounded label overhead");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

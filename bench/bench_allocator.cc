@@ -1,0 +1,72 @@
+// Experiment E5 — §Memory allocation woes: "a buffered sbrk scheme for allocation,
+// with no attempt to re-use freed space, gives superior performance in both time and
+// space ... memory allocators that attempt to coalesce when space is freed simply
+// waste time (and space)."
+//
+// Replays the byte-identical allocation trace recorded from parsing the 1986-scale
+// synthetic map through three allocators: the production arena, per-object heap calls,
+// and a classic first-fit/coalescing free list (the Korn–Vo-era design).  The
+// free-everything-at-exit phase is included for the designs that support it, since
+// that is exactly where coalescing burns its time.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/alloc_baselines.h"
+
+namespace {
+
+using namespace pathalias;
+
+const std::vector<uint32_t>& Trace() {
+  static const std::vector<uint32_t> trace = RecordParseTrace(bench::UsenetMap().Joined());
+  return trace;
+}
+
+template <typename AllocatorType, bool kFreeAtEnd>
+void BM_ReplayTrace(benchmark::State& state) {
+  const std::vector<uint32_t>& sizes = Trace();
+  size_t reserved = 0;
+  for (auto _ : state) {
+    AllocatorType allocator;
+    benchmark::DoNotOptimize(ReplayParseTrace(allocator, sizes, kFreeAtEnd));
+    reserved = allocator.bytes_reserved();
+  }
+  state.counters["allocs"] = static_cast<double>(sizes.size());
+  state.counters["reserved_KiB"] = static_cast<double>(reserved) / 1024.0;
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * sizes.size()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_ReplayTrace<ArenaAllocatorAdapter, false>)
+    ->Name("buffered_arena_never_free")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplayTrace<MallocEachAllocator, true>)
+    ->Name("malloc_per_object")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ReplayTrace<FreeListAllocator, true>)
+    ->Name("first_fit_with_coalescing")
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  pathalias::bench::PrintHeader(
+      "E5: allocator comparison (Korn-Vo style)",
+      "the buffered arena wins on both time and space for pathalias's "
+      "allocate-while-parsing / free-nothing-until-exit pattern");
+  std::printf("trace: %zu allocations, %.1f KiB requested, recorded from parsing the "
+              "1986-scale map\n\n",
+              Trace().size(), [] {
+                uint64_t total = 0;
+                for (uint32_t size : Trace()) {
+                  total += size;
+                }
+                return static_cast<double>(total) / 1024.0;
+              }());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Experiment E7 — §Hash table management, growth policies and the load-factor choice:
+//   * αH = 0.79 "gives a predicted ratio of 2 probes per access when the table is full"
+//     (Gonnet);
+//   * δ = 2 geometric growth "wastes an excessive amount of space" when the host count
+//     lands just past a threshold;
+//   * the αL = 0.49 arithmetic-candidate scheme and the final Fibonacci-prime scheme
+//     both grow by ≈ the golden ratio.
+//
+// Prints the probe-count-vs-load-factor curve against theory, then compares the three
+// growth policies on wasted space and rehash work across a sweep of host counts.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/support/hash_table.h"
+
+namespace {
+
+using namespace pathalias;
+
+// Expected probes for a successful lookup under double hashing at load α.
+double TheoreticalProbes(double alpha) { return (1.0 / alpha) * std::log(1.0 / (1.0 - alpha)); }
+
+void ProbeCurve() {
+  std::printf("probe count vs load factor (successful lookups, double hashing)\n");
+  std::printf("%8s %14s %14s\n", "alpha", "measured", "theory");
+  for (double alpha : {0.25, 0.40, 0.50, 0.60, 0.70, 0.79}) {
+    // Build a table at exactly this load factor: fixed prime capacity, n = alpha*T.
+    Arena arena;
+    uint64_t capacity = 10007;
+    HashTable<int> table(&arena, capacity);
+    int n = static_cast<int>(alpha * static_cast<double>(table.capacity()));
+    std::vector<std::string> keys;
+    keys.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      keys.push_back("host" + std::to_string(i * 131));
+      table.Insert(arena.InternString(keys.back()), i);
+    }
+    table.ResetProbeStats();
+    for (const std::string& key : keys) {
+      if (table.Find(key) == nullptr) {
+        std::printf("lookup failed!\n");
+        std::exit(EXIT_FAILURE);
+      }
+    }
+    double measured = static_cast<double>(table.probe_stats().probes) /
+                      static_cast<double>(table.probe_stats().accesses);
+    std::printf("%8.2f %14.3f %14.3f\n", alpha, measured, TheoreticalProbes(alpha));
+  }
+  std::printf("(the paper's design point: ~2 probes per access at alpha = 0.79)\n\n");
+}
+
+template <typename Growth>
+void GrowthRow(const char* name, int hosts) {
+  Arena arena;
+  HashTable<int, PaperSecondaryHash, Growth> table(&arena);
+  for (int i = 0; i < hosts; ++i) {
+    table.Insert(arena.InternString("h" + std::to_string(i)), i);
+  }
+  const auto& stats = table.probe_stats();
+  double waste = 1.0 - static_cast<double>(table.size()) / static_cast<double>(table.capacity());
+  std::printf("%-22s %8d %10llu %8.1f%% %9llu %12llu\n", name, hosts,
+              static_cast<unsigned long long>(table.capacity()), 100.0 * waste,
+              static_cast<unsigned long long>(stats.rehashes),
+              static_cast<unsigned long long>(stats.rehash_moves));
+}
+
+}  // namespace
+
+int main() {
+  pathalias::bench::PrintHeader(
+      "E7: hash growth policy and load factor",
+      "alpha_H = 0.79 => ~2 probes; delta = 2 wastes space; Fibonacci primes track the "
+      "golden ratio like the alpha_H/alpha_L scheme, with simpler size computation");
+
+  ProbeCurve();
+
+  std::printf("growth policies (final state after inserting n hosts)\n");
+  std::printf("%-22s %8s %10s %9s %9s %12s\n", "policy", "hosts", "capacity", "empty",
+              "rehashes", "moves");
+  for (int hosts : {1000, 2500, 5700, 8500, 20000}) {
+    GrowthRow<FibonacciGrowth>("fibonacci_primes", hosts);
+    GrowthRow<ArithmeticGrowth>("arithmetic_alphaL0.49", hosts);
+    GrowthRow<GeometricGrowth>("geometric_delta2", hosts);
+    std::printf("\n");
+  }
+  std::printf("Fibonacci-prime sizes: ");
+  for (uint64_t size : FibonacciPrimes::Sequence(16)) {
+    std::printf("%llu ", static_cast<unsigned long long>(size));
+  }
+  std::printf("\n(successive ratios approach the golden ratio 1.618)\n");
+  return EXIT_SUCCESS;
+}

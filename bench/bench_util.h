@@ -1,0 +1,47 @@
+// Shared helpers for the experiment binaries (one binary per paper table/figure/claim;
+// see DESIGN.md §4 and EXPERIMENTS.md for the paper-vs-measured record).
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "src/mapgen/mapgen.h"
+
+namespace pathalias {
+namespace bench {
+
+// The 1986-scale synthetic map, generated once per binary.
+inline const GeneratedMap& UsenetMap() {
+  static const GeneratedMap map = GenerateUsenetMap(MapGenConfig::Usenet1986());
+  return map;
+}
+
+inline const GeneratedMap& SmallMap() {
+  static const GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  return map;
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper claim: %s\n\n", claim);
+}
+
+}  // namespace bench
+}  // namespace pathalias
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,66 @@
+// Experiment E3 — the §Networks figure and the quadratic-explosion claim: "A clique
+// with n vertices contains about n² edges, so with over 2,000 hosts in the ARPANET we
+// are faced with millions of edges."  pathalias's net-node representation uses 2n.
+//
+// Sweeps clique sizes under both representations, measuring edges, arena bytes, and
+// build+map time, then projects to the 2,000-host ARPANET.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baseline/clique_expand.h"
+#include "src/core/mapper.h"
+
+namespace {
+
+using namespace pathalias;
+
+template <bool kExplicit>
+void BM_BuildAndMapClique(benchmark::State& state) {
+  CliqueSpec spec;
+  spec.members = static_cast<int>(state.range(0));
+  size_t links = 0;
+  size_t arena_bytes = 0;
+  for (auto _ : state) {
+    Diagnostics diag;
+    Graph graph(&diag);
+    if constexpr (kExplicit) {
+      BuildCliqueExplicit(graph, spec);
+    } else {
+      BuildCliqueAsNet(graph, spec);
+    }
+    Mapper mapper(&graph, MapOptions{});
+    Mapper::Result result = mapper.Run();
+    benchmark::DoNotOptimize(result.mapped_hosts);
+    links = graph.link_count();
+    arena_bytes = graph.arena().stats().bytes_reserved;
+  }
+  state.counters["edges"] = static_cast<double>(links);
+  state.counters["arena_KiB"] = static_cast<double>(arena_bytes) / 1024.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_BuildAndMapClique<false>)->Name("net_node_representation")
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)->Arg(2000)
+    ->Unit(benchmark::kMicrosecond);
+// The explicit representation is capped at 724 members (≈ half a million edges);
+// larger sizes are projected below, which is the paper's very point.
+BENCHMARK(BM_BuildAndMapClique<true>)->Name("explicit_clique_representation")
+    ->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(724)
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  pathalias::bench::PrintHeader(
+      "E3: Networks figure — clique representation",
+      "net node: 2n edges; explicit clique: ~n^2 edges; at ARPANET scale (2,000 hosts) "
+      "the explicit form needs millions of edges");
+  std::printf("projection at n = 2000:  net node: %d edges;  explicit: %d edges (%.1f M)\n\n",
+              2 * 2000 + 1, 2000 * 1999 + 1, (2000.0 * 1999.0 + 1) / 1e6);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

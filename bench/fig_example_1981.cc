@@ -1,0 +1,50 @@
+// Experiment E2 — the paper's worked example (§Output): the simplified 1981 map and
+// its expected route list, byte for byte, including the mixed-syntax ARPANET routes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/core/pathalias.h"
+
+int main() {
+  using namespace pathalias;
+  bench::PrintHeader(
+      "E2: Output figure — the 1981 example map",
+      "7 routes from unc, all through duke despite a direct unc-phs link; ARPANET "
+      "members reached as duke!research!ucbvax!%s@host at cost 3395");
+
+  constexpr std::string_view kInput =
+      "unc\tduke(HOURLY), phs(HOURLY*4)\n"
+      "duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)\n"
+      "phs\tunc(HOURLY*4), duke(HOURLY)\n"
+      "research\tduke(DEMAND), ucbvax(DEMAND)\n"
+      "ucbvax\tresearch(DAILY)\n"
+      "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n";
+
+  constexpr std::string_view kPaperOutput =
+      "0\tunc\t%s\n"
+      "500\tduke\tduke!%s\n"
+      "800\tphs\tduke!phs!%s\n"
+      "3000\tresearch\tduke!research!%s\n"
+      "3300\tucbvax\tduke!research!ucbvax!%s\n"
+      "3395\tmit-ai\tduke!research!ucbvax!%s@mit-ai\n"
+      "3395\tstanford\tduke!research!ucbvax!%s@stanford\n";
+
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "unc";
+  options.print.include_costs = true;
+  RunResult result = RunString(kInput, options, &diag);
+
+  std::printf("input (paper, 'a simplified portion of the map from 1981'):\n%s\n",
+              std::string(kInput).c_str());
+  std::printf("paper output:\n%s\n", std::string(kPaperOutput).c_str());
+  std::printf("our output:\n%s\n", result.output.c_str());
+
+  bool match = result.output == kPaperOutput;
+  std::printf("byte-for-byte match: %s\n", match ? "yes" : "NO");
+  std::printf("result: %s\n", match ? "REPRODUCED" : "MISMATCH");
+  return match ? EXIT_SUCCESS : EXIT_FAILURE;
+}

@@ -1,0 +1,60 @@
+// Experiment E1 — Table 1 of the paper: the symbolic cost values, and the arithmetic
+// cost expressions built from them (§Input).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/graph/cost.h"
+
+namespace {
+
+struct PaperRow {
+  const char* symbol;
+  pathalias::Cost paper_value;
+};
+
+constexpr PaperRow kPaperTable[] = {
+    {"LOCAL", 25},   {"DEDICATED", 95}, {"DIRECT", 200}, {"DEMAND", 300}, {"HOURLY", 500},
+    {"EVENING", 1800}, {"POLLED", 5000},  {"DAILY", 5000}, {"WEEKLY", 30000},
+};
+
+}  // namespace
+
+int main() {
+  using pathalias::bench::PrintHeader;
+  PrintHeader("E1: Table 1 — cost symbols",
+              "LOCAL 25 ... WEEKLY 30000; DAILY = 10x HOURLY (not 24x); costs may be "
+              "arbitrary arithmetic expressions (HOURLY*3, DAILY/2)");
+
+  int mismatches = 0;
+  std::printf("%-12s %10s %10s  %s\n", "symbol", "paper", "ours", "match");
+  for (const PaperRow& row : kPaperTable) {
+    auto value = pathalias::LookupCostSymbol(row.symbol);
+    bool ok = value.has_value() && *value == row.paper_value;
+    mismatches += ok ? 0 : 1;
+    std::printf("%-12s %10lld %10lld  %s\n", row.symbol,
+                static_cast<long long>(row.paper_value),
+                static_cast<long long>(value.value_or(-1)), ok ? "yes" : "NO");
+  }
+
+  std::printf("\nexpression examples (paper section: Input)\n");
+  struct {
+    const char* text;
+    pathalias::Cost expected;
+  } expressions[] = {{"HOURLY*3", 1500}, {"DAILY/2", 2500}, {"HOURLY*4", 2000}};
+  for (const auto& e : expressions) {
+    auto parsed = pathalias::EvalCostExpression(e.text);
+    bool ok = parsed.value.has_value() && *parsed.value == e.expected;
+    mismatches += ok ? 0 : 1;
+    std::printf("  %-10s = %6lld (expected %6lld)  %s\n", e.text,
+                static_cast<long long>(parsed.value.value_or(-1)),
+                static_cast<long long>(e.expected), ok ? "yes" : "NO");
+  }
+
+  std::printf("\nDAILY/HOURLY ratio: %lld (paper: 10, deliberately not 24)\n",
+              static_cast<long long>(*pathalias::LookupCostSymbol("DAILY") /
+                                     *pathalias::LookupCostSymbol("HOURLY")));
+  std::printf("\nresult: %s\n", mismatches == 0 ? "REPRODUCED" : "MISMATCH");
+  return mismatches == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

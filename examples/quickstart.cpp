@@ -1,0 +1,45 @@
+// Quickstart: describe a little network, compute routes, print them.
+//
+//   $ ./build/examples/quickstart
+//
+// Shows the three-line happy path of the library API (RunString), plus how to inspect
+// structured results instead of parsing the text output.
+
+#include <cstdio>
+
+#include "src/core/pathalias.h"
+
+int main() {
+  // Map syntax (paper §Input): "host  link(cost), link(cost)".  '@' before a name
+  // means ARPANET-style user@host addressing; names in braces declare a network.
+  constexpr std::string_view kMap =
+      "# my site's view of the world, circa 1986\n"
+      "mysite\thub(DEMAND), slowpoke(WEEKLY)\n"
+      "hub\tbackbone1(DEDICATED), slowpoke(DAILY)\n"
+      "backbone1\t@gateway(DEMAND)\n"
+      "ARPA = @{gateway, mit-ai, ucbvax}(DEDICATED)\n";
+
+  pathalias::Diagnostics diag;
+  pathalias::RunOptions options;
+  options.local = "mysite";                // the Dijkstra source
+  options.print.include_costs = true;      // like the paper's -c output
+
+  pathalias::RunResult result = pathalias::RunString(kMap, options, &diag);
+
+  std::printf("--- route list (cost, host, printf-style route) ---\n%s\n",
+              result.output.c_str());
+
+  // The structured form: every entry carries the format string a mailer would use.
+  for (const pathalias::RouteEntry& entry : result.routes) {
+    if (entry.name == "mit-ai") {
+      std::printf("mail for honey@mit-ai goes as: %s\n",
+                  pathalias::RoutePrinter::SpliceUser(entry.route, "honey").c_str());
+    }
+  }
+
+  // Anything odd about the input or the mapping lands in the diagnostics.
+  std::printf("\n%d errors, %d warnings; %zu hosts mapped, %zu unreachable\n",
+              diag.error_count(), diag.warning_count(), result.map.mapped_hosts,
+              result.map.unreachable_hosts);
+  return diag.error_count() == 0 ? 0 : 1;
+}

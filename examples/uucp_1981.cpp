@@ -1,0 +1,65 @@
+// The paper's own worked example (§Output), annotated.
+//
+//   $ ./build/examples/uucp_1981
+//
+// Walks through what pathalias decides and why: relaying through duke despite a direct
+// unc-phs link, network placeholder expansion, and mixed-syntax ARPANET routes.
+
+#include <cassert>
+#include <cstdio>
+
+#include "src/core/pathalias.h"
+
+int main() {
+  constexpr std::string_view kPaperMap =
+      "unc\tduke(HOURLY), phs(HOURLY*4)\n"
+      "duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)\n"
+      "phs\tunc(HOURLY*4), duke(HOURLY)\n"
+      "research\tduke(DEMAND), ucbvax(DEMAND)\n"
+      "ucbvax\tresearch(DAILY)\n"
+      "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n";
+
+  pathalias::Diagnostics diag;
+  pathalias::RunOptions options;
+  options.local = "unc";
+  options.print.include_costs = true;
+  pathalias::RunResult result = pathalias::RunString(kPaperMap, options, &diag);
+
+  std::printf("the 1981 map fragment, as seen from unc:\n\n%s\n", result.output.c_str());
+
+  std::printf(
+      "what to notice (all from the paper):\n"
+      "  * phs is adjacent to unc, but HOURLY*4 = 2000 beats nothing: going through\n"
+      "    duke costs 500 + 300 = 800, so the route is duke!phs!%%s;\n"
+      "  * ARPA is a single placeholder node: members pay DEDICATED (95) to get on,\n"
+      "    exit is free, so mit-ai costs 3300 + 95 = 3395 and the net never shows up\n"
+      "    in the output;\n"
+      "  * the ARPANET portion switches syntax: duke!research!ucbvax!%%s@mit-ai is a\n"
+      "    UUCP bang path that ends in user@host form -- mixed-syntax addressing.\n\n");
+
+  // The costs the paper prints, as assertions.
+  struct {
+    const char* name;
+    pathalias::Cost cost;
+  } expected[] = {{"unc", 0},      {"duke", 500},     {"phs", 800},     {"research", 3000},
+                  {"ucbvax", 3300}, {"mit-ai", 3395}, {"stanford", 3395}};
+  for (const auto& e : expected) {
+    bool found = false;
+    for (const pathalias::RouteEntry& entry : result.routes) {
+      if (entry.name == e.name) {
+        found = true;
+        if (entry.cost != e.cost) {
+          std::printf("MISMATCH: %s expected %lld got %lld\n", e.name,
+                      static_cast<long long>(e.cost), static_cast<long long>(entry.cost));
+          return 1;
+        }
+      }
+    }
+    if (!found) {
+      std::printf("MISSING: %s\n", e.name);
+      return 1;
+    }
+  }
+  std::printf("all seven costs match the paper.\n");
+  return 0;
+}

@@ -1,0 +1,153 @@
+#include "src/baseline/alloc_baselines.h"
+
+#include <cassert>
+#include <cstring>
+#include <new>
+
+#include "src/graph/graph.h"
+#include "src/parser/parser.h"
+
+namespace pathalias {
+
+size_t MallocEachAllocator::Footprint(size_t size) {
+  size_t with_header = size + 8;
+  return (with_header + 15) & ~static_cast<size_t>(15);
+}
+
+void* MallocEachAllocator::Alloc(size_t size) {
+  reserved_ += Footprint(size);
+  return ::operator new(size);
+}
+
+void MallocEachAllocator::Free(void* p) { ::operator delete(p); }
+
+FreeListAllocator::FreeListAllocator(size_t block_size) : block_size_(block_size) {}
+
+FreeListAllocator::~FreeListAllocator() {
+  for (void* block : blocks_) {
+    ::operator delete(block);
+  }
+}
+
+void FreeListAllocator::AddBlock(size_t payload) {
+  size_t usable = payload > block_size_ ? payload : block_size_;
+  void* raw = ::operator new(usable);
+  blocks_.push_back(raw);
+  reserved_ += usable;
+  auto* node = static_cast<FreeNode*>(raw);
+  node->size = usable;
+  node->next = nullptr;
+  InsertCoalesced(node);
+}
+
+void FreeListAllocator::InsertCoalesced(FreeNode* node) {
+  // Address-ordered insert, coalescing with both neighbors — the classic design whose
+  // per-free list walk the paper identifies as wasted work for this workload.
+  FreeNode** cursor = &free_list_;
+  while (*cursor != nullptr && *cursor < node) {
+    cursor = &(*cursor)->next;
+  }
+  node->next = *cursor;
+  *cursor = node;
+  // Coalesce node with successor.
+  if (node->next != nullptr &&
+      reinterpret_cast<char*>(node) + node->size == reinterpret_cast<char*>(node->next)) {
+    node->size += node->next->size;
+    node->next = node->next->next;
+  }
+  // Coalesce predecessor with node.
+  if (cursor != &free_list_) {
+    auto* prev = reinterpret_cast<FreeNode*>(reinterpret_cast<char*>(cursor) -
+                                             offsetof(FreeNode, next));
+    if (reinterpret_cast<char*>(prev) + prev->size == reinterpret_cast<char*>(node)) {
+      prev->size += node->size;
+      prev->next = node->next;
+    }
+  }
+}
+
+void* FreeListAllocator::Alloc(size_t size) {
+  size_t need = ((size + sizeof(Header) + 15) & ~static_cast<size_t>(15));
+  if (need < sizeof(FreeNode) + sizeof(Header)) {
+    need = sizeof(FreeNode) + sizeof(Header);
+  }
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    FreeNode** cursor = &free_list_;
+    while (*cursor != nullptr) {
+      FreeNode* node = *cursor;
+      if (node->size >= need) {
+        size_t leftover = node->size - need;
+        if (leftover >= sizeof(FreeNode) + sizeof(Header)) {
+          // Split: tail stays free.
+          auto* rest = reinterpret_cast<FreeNode*>(reinterpret_cast<char*>(node) + need);
+          rest->size = leftover;
+          rest->next = node->next;
+          *cursor = rest;
+        } else {
+          need = node->size;  // use it whole
+          *cursor = node->next;
+        }
+        auto* header = reinterpret_cast<Header*>(node);
+        header->size = need;
+        return reinterpret_cast<char*>(header) + sizeof(Header);
+      }
+      cursor = &node->next;
+    }
+    AddBlock(need);
+  }
+  throw std::bad_alloc();
+}
+
+void FreeListAllocator::Free(void* p) {
+  if (p == nullptr) {
+    return;
+  }
+  auto* header = reinterpret_cast<Header*>(static_cast<char*>(p) - sizeof(Header));
+  auto* node = reinterpret_cast<FreeNode*>(header);
+  size_t size = header->size;
+  node->size = size;
+  node->next = nullptr;
+  InsertCoalesced(node);
+}
+
+size_t FreeListAllocator::free_list_length() const {
+  size_t length = 0;
+  for (FreeNode* node = free_list_; node != nullptr; node = node->next) {
+    ++length;
+  }
+  return length;
+}
+
+uint64_t ReplayParseTrace(AllocatorBase& allocator, std::span<const uint32_t> sizes,
+                          bool free_at_end) {
+  std::vector<void*> live;
+  live.reserve(sizes.size());
+  uint64_t checksum = 0;
+  for (uint32_t size : sizes) {
+    void* p = allocator.Alloc(size);
+    // Touch the storage like real node/link initialization does.
+    std::memset(p, 0, size < 64 ? size : 64);
+    checksum ^= reinterpret_cast<uintptr_t>(p);
+    live.push_back(p);
+  }
+  if (free_at_end) {
+    // "After parsing ... just about everything is freed."
+    for (void* p : live) {
+      allocator.Free(p);
+    }
+  }
+  return checksum;
+}
+
+std::vector<uint32_t> RecordParseTrace(const std::string& map_text) {
+  Diagnostics diag;
+  Graph graph(&diag);
+  std::vector<uint32_t> trace;
+  graph.arena().set_trace(&trace);
+  Parser parser(&graph);
+  parser.ParseFile(InputFile{"<trace>", map_text});
+  graph.arena().set_trace(nullptr);
+  return trace;
+}
+
+}  // namespace pathalias

@@ -1,0 +1,106 @@
+// Allocator baselines (paper §Memory allocation woes, experiment E5).
+//
+// The paper evaluated allocators from Korn & Vo's "In Search of a Better Malloc"
+// (USENIX 1985) against pathalias's pattern — allocate heavily while parsing, free
+// almost nothing until exit — and concluded that a buffered-sbrk arena with no reuse
+// wins on both time and space, because "memory allocators that attempt to coalesce
+// when space is freed simply waste time (and space)".
+//
+// The two rejected designs rebuilt here:
+//   * MallocEachAllocator — one general-purpose heap call per object (per-object
+//     header overhead, no batching);
+//   * FreeListAllocator   — classic first-fit with address-ordered free list and
+//     boundary coalescing (the list walk on free is the time sink the paper calls out).
+// ArenaAllocatorAdapter wraps the production Arena behind the same interface.
+//
+// The benchmark replays a real allocation trace recorded from parsing a synthetic
+// USENET map (Arena::set_trace), so all three face the byte-identical workload.
+
+#ifndef SRC_BASELINE_ALLOC_BASELINES_H_
+#define SRC_BASELINE_ALLOC_BASELINES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/support/arena.h"
+
+namespace pathalias {
+
+class AllocatorBase {
+ public:
+  virtual ~AllocatorBase() = default;
+  virtual void* Alloc(size_t size) = 0;
+  virtual void Free(void* p) = 0;
+  // Total bytes obtained from the OS, including headers and slack: the space axis.
+  virtual size_t bytes_reserved() const = 0;
+  virtual const char* name() const = 0;
+};
+
+class MallocEachAllocator final : public AllocatorBase {
+ public:
+  void* Alloc(size_t size) override;
+  void Free(void* p) override;
+  size_t bytes_reserved() const override { return reserved_; }
+  const char* name() const override { return "malloc-each"; }
+
+ private:
+  // glibc-style bookkeeping estimate: 8-byte header, 16-byte granule.
+  static size_t Footprint(size_t size);
+  size_t reserved_ = 0;
+};
+
+class FreeListAllocator final : public AllocatorBase {
+ public:
+  explicit FreeListAllocator(size_t block_size = 256 * 1024);
+  ~FreeListAllocator() override;
+
+  void* Alloc(size_t size) override;
+  void Free(void* p) override;
+  size_t bytes_reserved() const override { return reserved_; }
+  const char* name() const override { return "first-fit+coalesce"; }
+
+  size_t free_list_length() const;
+
+ private:
+  struct Header {
+    size_t size;  // payload bytes following the header
+  };
+  struct FreeNode {
+    size_t size;
+    FreeNode* next;
+  };
+
+  void AddBlock(size_t payload);
+  void InsertCoalesced(FreeNode* node);
+
+  size_t block_size_;
+  FreeNode* free_list_ = nullptr;  // address-ordered
+  std::vector<void*> blocks_;
+  size_t reserved_ = 0;
+};
+
+class ArenaAllocatorAdapter final : public AllocatorBase {
+ public:
+  void* Alloc(size_t size) override { return arena_.Allocate(size); }
+  void Free(void*) override {}  // the whole point: never free
+  size_t bytes_reserved() const override { return arena_.stats().bytes_reserved; }
+  const char* name() const override { return "buffered-arena"; }
+
+ private:
+  Arena arena_;
+};
+
+// Replays pathalias's allocation pattern: every size in order, then (for allocators
+// that support it) everything freed at once — "after parsing ... just about everything
+// is freed".  Returns a checksum so the work cannot be optimized away.
+uint64_t ReplayParseTrace(AllocatorBase& allocator, std::span<const uint32_t> sizes,
+                          bool free_at_end);
+
+// Records the allocation-size trace of parsing `map_text` through the real pipeline.
+std::vector<uint32_t> RecordParseTrace(const std::string& map_text);
+
+}  // namespace pathalias
+
+#endif  // SRC_BASELINE_ALLOC_BASELINES_H_

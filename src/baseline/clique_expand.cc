@@ -1,0 +1,50 @@
+#include "src/baseline/clique_expand.h"
+
+namespace pathalias {
+namespace {
+
+Node* AttachSource(Graph& graph, const CliqueSpec& spec, Node* first_member) {
+  Node* source = graph.Intern("source");
+  graph.AddLink(source, first_member, spec.source_cost, kDefaultOp, /*right_syntax=*/false,
+                SourcePos{});
+  graph.SetLocal("source");
+  return source;
+}
+
+}  // namespace
+
+std::vector<std::string> CliqueMemberNames(int members) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(members));
+  for (int i = 0; i < members; ++i) {
+    names.push_back("m" + std::to_string(i));
+  }
+  return names;
+}
+
+void BuildCliqueAsNet(Graph& graph, const CliqueSpec& spec) {
+  std::vector<Node*> members;
+  for (const std::string& name : CliqueMemberNames(spec.members)) {
+    members.push_back(graph.Intern(name));
+  }
+  Node* net = graph.Intern("NET");
+  graph.DeclareNet(net, members, spec.entry_cost, spec.op, spec.right_syntax, SourcePos{});
+  AttachSource(graph, spec, members.front());
+}
+
+void BuildCliqueExplicit(Graph& graph, const CliqueSpec& spec) {
+  std::vector<Node*> members;
+  for (const std::string& name : CliqueMemberNames(spec.members)) {
+    members.push_back(graph.Intern(name));
+  }
+  for (Node* from : members) {
+    for (Node* to : members) {
+      if (from != to) {
+        graph.AddLink(from, to, spec.entry_cost, spec.op, spec.right_syntax, SourcePos{});
+      }
+    }
+  }
+  AttachSource(graph, spec, members.front());
+}
+
+}  // namespace pathalias

@@ -1,0 +1,42 @@
+// Clique representations (paper §Networks, experiment E3).
+//
+// "A clique with n vertices contains about n² edges, so with over 2,000 hosts in the
+// ARPANET we are faced with millions of edges."  pathalias represents a network as a
+// single node with a pair of edges per member; this module also builds the rejected
+// explicit representation so the benchmark can regenerate the comparison.
+//
+// Both builders produce the same logical topology: a `source` host with one declared
+// link to the first member, plus an n-member clique at `entry_cost`.  Path costs from
+// source agree between representations (net entry pays entry_cost once, exit is free —
+// exactly what a direct member-to-member edge costs), which the equivalence test pins.
+
+#ifndef SRC_BASELINE_CLIQUE_EXPAND_H_
+#define SRC_BASELINE_CLIQUE_EXPAND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pathalias {
+
+struct CliqueSpec {
+  int members = 8;
+  Cost entry_cost = 95;   // DEDICATED, the ARPANET grade
+  Cost source_cost = 300; // DEMAND link from source to member 0
+  char op = '@';
+  bool right_syntax = true;
+};
+
+// Member names are m0, m1, ...; the source host is named "source".
+std::vector<std::string> CliqueMemberNames(int members);
+
+// Net representation: one placeholder node, 2n member edges.
+void BuildCliqueAsNet(Graph& graph, const CliqueSpec& spec);
+
+// Explicit representation: n(n-1) member-to-member edges.
+void BuildCliqueExplicit(Graph& graph, const CliqueSpec& spec);
+
+}  // namespace pathalias
+
+#endif  // SRC_BASELINE_CLIQUE_EXPAND_H_

@@ -1,0 +1,39 @@
+// The "standard version of Dijkstra's algorithm" (paper §Time complexity).
+//
+// Extract-min by scanning an array of all vertices: Θ(v²) regardless of edge count.
+// The paper's point is that for the sparse USENET graph (e ∝ v) the heap variant's
+// e·log v beats this "both asymptotically and pragmatically", while on dense graphs
+// the v²·log v heap bound loses — experiment E8 regenerates both regimes.
+//
+// Paths are priced with the *same* heuristic cost function as the production mapper
+// (taken from Mapper::CostOf), so E8 compares extraction strategies, nothing else.
+// Single-label mode only, no back-link passes: the comparison covers the core mapping
+// loop the paper analyzes.
+
+#ifndef SRC_BASELINE_DENSE_DIJKSTRA_H_
+#define SRC_BASELINE_DENSE_DIJKSTRA_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/core/mapper.h"
+
+namespace pathalias {
+
+struct DenseDijkstraResult {
+  size_t mapped = 0;
+  size_t scans = 0;        // vertex inspections during extract-min (the v² term)
+  size_t relaxations = 0;
+  // Final label per node, indexed by node->order.  labels[i].cost == kUnreached means
+  // unreachable.
+  std::vector<PathLabel> labels;
+};
+
+// Maps graph->local() to every vertex.  Leaves node->cost/parent untouched (results
+// are returned, not written back), so it can run against a graph the heap mapper also
+// maps — equivalence tests rely on that.
+DenseDijkstraResult DenseDijkstra(Graph* graph, const MapOptions& options);
+
+}  // namespace pathalias
+
+#endif  // SRC_BASELINE_DENSE_DIJKSTRA_H_

@@ -1,0 +1,211 @@
+#include "src/baseline/slow_scanner.h"
+
+namespace pathalias {
+
+const std::array<SlowScanner::CharClass, 256> SlowScanner::kClassTable = [] {
+  std::array<CharClass, 256> table{};
+  for (int c = 0; c < 256; ++c) {
+    table[static_cast<size_t>(c)] = kClsOther;
+  }
+  table[' '] = kClsSpace;
+  table['\t'] = kClsSpace;
+  table['\r'] = kClsSpace;
+  table['\n'] = kClsNewline;
+  for (unsigned char c = 'a'; c <= 'z'; ++c) {
+    table[c] = kClsName;
+  }
+  for (unsigned char c = 'A'; c <= 'Z'; ++c) {
+    table[c] = kClsName;
+  }
+  for (unsigned char c = '0'; c <= '9'; ++c) {
+    table[c] = kClsName;
+  }
+  table['.'] = kClsName;
+  table['-'] = kClsName;
+  table['_'] = kClsName;
+  table['+'] = kClsName;
+  table['!'] = kClsOp;
+  table['@'] = kClsOp;
+  table[':'] = kClsOp;
+  table['%'] = kClsOp;
+  table[','] = kClsPunct;
+  table['{'] = kClsPunct;
+  table['}'] = kClsPunct;
+  table['('] = kClsPunct;
+  table[')'] = kClsPunct;
+  table['='] = kClsPunct;
+  table['#'] = kClsHash;
+  table['\\'] = kClsBackslash;
+  return table;
+}();
+
+// yy_nxt: for each state, the successor state per character class.
+const std::array<std::array<uint8_t, SlowScanner::kClassCount>, SlowScanner::kStateCount>
+    SlowScanner::kNextState = [] {
+      std::array<std::array<uint8_t, kClassCount>, kStateCount> table{};
+      for (auto& row : table) {
+        row.fill(kJam);
+      }
+      auto& start = table[kStart];
+      start[kClsSpace] = kInSpace;
+      start[kClsNewline] = kSeenNewline;
+      start[kClsName] = kInName;
+      start[kClsOp] = kSeenOp;
+      start[kClsPunct] = kSeenPunct;
+      start[kClsHash] = kInComment;
+      start[kClsBackslash] = kSeenBackslash;
+      start[kClsOther] = kSeenOther;
+      table[kInSpace][kClsSpace] = kInSpace;
+      table[kInName][kClsName] = kInName;
+      for (int cls = 0; cls < kClassCount; ++cls) {
+        if (cls != kClsNewline) {
+          table[kInComment][static_cast<size_t>(cls)] = kInComment;
+        }
+      }
+      table[kSeenBackslash][kClsNewline] = kSeenSplice;
+      return table;
+    }();
+
+// yy_accept: the action for each accepting state.
+const std::array<SlowScanner::Action, SlowScanner::kStateCount> SlowScanner::kAccept = [] {
+  std::array<Action, kStateCount> table{};
+  table.fill(kActNone);
+  table[kInSpace] = kActSkip;
+  table[kInName] = kActName;
+  table[kInComment] = kActSkip;
+  table[kSeenOp] = kActOp;
+  table[kSeenPunct] = kActPunct;
+  table[kSeenNewline] = kActNewline;
+  table[kSeenBackslash] = kActBad;  // lone backslash
+  table[kSeenSplice] = kActSplice;
+  table[kSeenOther] = kActBad;
+  return table;
+}();
+
+int SlowScanner::InputChar() {
+  return pos_ < input_.size() ? static_cast<unsigned char>(input_[pos_]) : -1;
+}
+
+Token SlowScanner::Next() {
+  for (;;) {
+    if (pos_ >= input_.size()) {
+      return Token{TokenKind::kEnd, {}, line_, 0};
+    }
+    // One lex match: walk the DFA until it jams, tracking the last accepting state —
+    // exactly the yy_ec / yy_nxt / yy_accept interpreter loop of generated scanners.
+    size_t token_start = pos_;
+    int token_line = line_;
+    uint8_t state = kStart;
+    Action last_action = kActNone;
+    size_t last_accept_end = pos_;
+    int newlines_consumed = 0;
+    yytext_.clear();
+    yy_state_buf_.clear();
+    for (;;) {
+      int ci = InputChar();  // lex reads each character through input()
+      if (ci < 0) {
+        break;
+      }
+      char c = static_cast<char>(ci);
+      ++chars_dispatched_;
+      uint8_t cls = kClassTable[static_cast<unsigned char>(c)];
+      uint8_t next = kNextState[state][cls];
+      if (next == kJam) {
+        break;
+      }
+      state = next;
+      yy_state_buf_.push_back(static_cast<char>(state));  // REJECT history (yylstate)
+      yytext_.push_back(c);                               // the copy lex always makes
+      ++pos_;
+      if (c == '\n') {
+        ++newlines_consumed;
+      }
+      Action action = kAccept[state];
+      if (action != kActNone) {
+        last_action = action;
+        last_accept_end = pos_;
+      }
+    }
+    // Back up to the last accepting position (lex's backtracking).
+    pos_ = last_accept_end;
+    line_ = token_line + newlines_consumed;
+    std::string_view text = input_.substr(token_start, last_accept_end - token_start);
+    switch (last_action) {
+      case kActSkip:
+        continue;
+      case kActSplice:
+        continue;  // backslash-newline joins lines; line_ already advanced
+      case kActName:
+        return Token{TokenKind::kName, text, token_line, 0};
+      case kActOp:
+        return Token{TokenKind::kOp, text, token_line, text[0]};
+      case kActPunct: {
+        TokenKind kind;
+        switch (text[0]) {
+          case ',':
+            kind = TokenKind::kComma;
+            break;
+          case '{':
+            kind = TokenKind::kLBrace;
+            break;
+          case '}':
+            kind = TokenKind::kRBrace;
+            break;
+          case '(':
+            kind = TokenKind::kLParen;
+            break;
+          case ')':
+            kind = TokenKind::kRParen;
+            break;
+          default:
+            kind = TokenKind::kEquals;
+            break;
+        }
+        return Token{kind, text, token_line, 0};
+      }
+      case kActNewline:
+        return Token{TokenKind::kNewline, text, token_line, 0};
+      case kActBad:
+      case kActNone:
+        if (last_accept_end == token_start) {
+          ++pos_;  // ensure progress on a character no rule matches
+          return Token{TokenKind::kBad, input_.substr(token_start, 1), token_line, 0};
+        }
+        return Token{TokenKind::kBad, text, token_line, 0};
+    }
+  }
+}
+
+std::string_view SlowScanner::CaptureParenBody() {
+  size_t start = pos_;
+  int depth = 1;
+  yytext_.clear();
+  for (;;) {
+    int ci = InputChar();
+    if (ci < 0) {
+      break;
+    }
+    char c = static_cast<char>(ci);
+    ++chars_dispatched_;
+    // Even here the generated scanner pays its class lookup and buffer copy.
+    uint8_t cls = kClassTable[static_cast<unsigned char>(c)];
+    (void)cls;
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        std::string_view body = input_.substr(start, pos_ - start);
+        ++pos_;
+        return body;
+      }
+    } else if (c == '\n') {
+      ++line_;
+    }
+    yytext_.push_back(c);
+    ++pos_;
+  }
+  return input_.substr(start);
+}
+
+}  // namespace pathalias

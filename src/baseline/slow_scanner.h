@@ -1,0 +1,100 @@
+// A lex(1)-style scanner (paper §Parsing, experiment E4).
+//
+// "We experimented with lex for transforming the raw input into lexical tokens, but
+// were disappointed with its performance: half the run time was spent in the scanner."
+// lex's cost was structural, and this scanner reproduces the structure exactly: for
+// every input character it performs a non-inlined input() call (AT&T lex read through
+// a getc-style routine), an equivalence-class lookup (yy_ec), a next-state table
+// lookup (yy_nxt), accepting-state bookkeeping for backtracking (yy_accept /
+// last-accepting-state), a push onto the REJECT state-history buffer (lex's yylstate —
+// AT&T lex always paid for REJECT capability), and a byte append into the yytext
+// buffer — whether or not the parser wants the text.  The hand-built Lexer does one
+// switch per character and copies nothing.
+//
+// It emits exactly the same token stream as Lexer (tests pin stream equality; the
+// benchmark pins the speed ratio).  Documented simulation: DESIGN.md §3.
+
+#ifndef SRC_BASELINE_SLOW_SCANNER_H_
+#define SRC_BASELINE_SLOW_SCANNER_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/parser/scanner.h"
+
+namespace pathalias {
+
+class SlowScanner final : public Scanner {
+ public:
+  explicit SlowScanner(std::string_view input) : input_(input) {}
+
+  Token Next() override;
+  std::string_view CaptureParenBody() override;
+  int line() const override { return line_; }
+
+  // Total characters pushed through the automaton (benchmark counter).
+  size_t chars_dispatched() const { return chars_dispatched_; }
+
+ private:
+  // Character equivalence classes (lex's yy_ec).
+  enum CharClass : uint8_t {
+    kClsSpace,
+    kClsNewline,
+    kClsName,
+    kClsOp,
+    kClsPunct,
+    kClsHash,
+    kClsBackslash,
+    kClsOther,
+    kClassCount,
+  };
+
+  // DFA states (lex's yy_nxt rows).  kJam = no transition: token complete.
+  enum State : uint8_t {
+    kStart,
+    kInSpace,
+    kInName,
+    kInComment,
+    kSeenOp,
+    kSeenPunct,
+    kSeenNewline,
+    kSeenBackslash,
+    kSeenSplice,
+    kSeenOther,
+    kStateCount,
+    kJam = 0xff,
+  };
+
+  // Token-level actions attached to accepting states (lex's yy_accept).
+  enum Action : uint8_t {
+    kActNone,  // non-accepting
+    kActSkip,
+    kActName,
+    kActOp,
+    kActPunct,
+    kActNewline,
+    kActSplice,
+    kActBad,
+  };
+
+  static const std::array<CharClass, 256> kClassTable;
+  static const std::array<std::array<uint8_t, kClassCount>, kStateCount> kNextState;
+  static const std::array<Action, kStateCount> kAccept;
+
+  // The per-character input() routine; deliberately opaque to the optimizer, as the
+  // stdio call in generated scanners was.  Returns -1 at end of input.
+  [[gnu::noinline]] int InputChar();
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  std::string yytext_;            // lex copies every token's text here
+  std::string yy_state_buf_;      // state history for REJECT (lex's yylstate)
+  size_t chars_dispatched_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_BASELINE_SLOW_SCANNER_H_

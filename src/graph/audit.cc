@@ -1,0 +1,301 @@
+#include "src/graph/audit.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pathalias {
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<const Node*, const Node*>& pair) const {
+    auto a = reinterpret_cast<uintptr_t>(pair.first);
+    auto b = reinterpret_cast<uintptr_t>(pair.second);
+    return std::hash<uintptr_t>()(a * 31 + b);
+  }
+};
+
+class Auditor {
+ public:
+  Auditor(const Graph& graph, const AuditOptions& options) : graph_(graph), options_(options) {}
+
+  AuditReport Run() {
+    IndexLinks();
+    Summarize();
+    FindNameCollisions();
+    FindOneWayAndAsymmetric();
+    FindDisconnected();
+    FindUnenterableNetsAndDomains();
+    FindDeadRelays();
+    return std::move(report_);
+  }
+
+ private:
+  void Add(AuditSeverity severity, const std::string& category, std::string message) {
+    size_t& count = per_category_[category];
+    ++count;
+    if (count == options_.max_findings_per_category + 1) {
+      report_.findings.push_back(
+          {severity, category, "... further " + category + " findings suppressed"});
+      return;
+    }
+    if (count > options_.max_findings_per_category) {
+      return;
+    }
+    report_.findings.push_back({severity, category, std::move(message)});
+  }
+
+  void IndexLinks() {
+    for (const Node* node : graph_.nodes()) {
+      for (const Link* link = node->links; link != nullptr; link = link->next) {
+        if (!link->alias()) {
+          forward_.emplace(std::pair{node, static_cast<const Node*>(link->to)}, link);
+        }
+      }
+    }
+  }
+
+  void Summarize() {
+    size_t degree_sum = 0;
+    for (const Node* node : graph_.nodes()) {
+      if (node->placeholder()) {
+        ++report_.placeholders;
+        continue;
+      }
+      if (node->deleted()) {
+        continue;
+      }
+      ++report_.hosts;
+      size_t degree = 0;
+      for (const Link* link = node->links; link != nullptr; link = link->next) {
+        if (!link->alias()) {
+          ++degree;
+        }
+      }
+      degree_sum += degree;
+      if (degree > report_.max_degree) {
+        report_.max_degree = degree;
+        report_.max_degree_host = node->name;
+      }
+    }
+    report_.links = graph_.link_count();
+    report_.average_degree =
+        report_.hosts == 0 ? 0.0
+                           : static_cast<double>(degree_sum) / static_cast<double>(report_.hosts);
+  }
+
+  void FindNameCollisions() {
+    // A host whose outgoing links were declared by several distinct input files is a
+    // collision suspect: sites normally declare their own connections.  Hosts that
+    // were properly declared private never trip this (each instance is one file's).
+    for (const Node* node : graph_.nodes()) {
+      if (node->placeholder() || node->is_private()) {
+        continue;
+      }
+      std::set<int> declaring_files;
+      for (const Link* link = node->links; link != nullptr; link = link->next) {
+        if (!link->alias() && !link->invented() && link->decl_file >= 0) {
+          declaring_files.insert(link->decl_file);
+        }
+      }
+      if (declaring_files.size() >= 3) {
+        std::string files;
+        int shown = 0;
+        for (int file : declaring_files) {
+          if (shown++ == 4) {
+            files += ", ...";
+            break;
+          }
+          if (!files.empty()) {
+            files += ", ";
+          }
+          files += graph_.files()[static_cast<size_t>(file)];
+        }
+        Add(AuditSeverity::kSuspicious, "name-collision",
+            std::string(node->name) + ": outgoing links declared by " +
+                std::to_string(declaring_files.size()) + " different files (" + files +
+                "); possibly several machines sharing one name — consider 'private'");
+      }
+    }
+  }
+
+  void FindOneWayAndAsymmetric() {
+    for (const auto& [pair, link] : forward_) {
+      const auto& [from, to] = pair;
+      if (from->placeholder() || to->placeholder()) {
+        continue;  // net/domain edges are one-way by construction
+      }
+      auto reverse = forward_.find({to, from});
+      if (reverse == forward_.end()) {
+        ++report_.one_way_links;
+        if (!link->invented()) {
+          Add(AuditSeverity::kInfo, "one-way-link",
+              std::string(from->name) + " calls " + to->name + " but " + to->name +
+                  " never calls back; the return route must be invented");
+        }
+        continue;
+      }
+      // Report each asymmetric pair once (from < to by pointer keeps it stable).
+      if (from < to) {
+        Cost a = link->cost;
+        Cost b = reverse->second->cost;
+        Cost low = std::min(a, b);
+        Cost high = std::max(a, b);
+        if (low >= 0 && high > static_cast<Cost>(options_.cost_asymmetry_factor *
+                                                 static_cast<double>(std::max<Cost>(low, 1)))) {
+          Add(AuditSeverity::kSuspicious, "asymmetric-cost",
+              std::string(from->name) + " <-> " + to->name + ": costs " + std::to_string(a) +
+                  " vs " + std::to_string(b) + " differ by more than " +
+                  std::to_string(static_cast<int>(options_.cost_asymmetry_factor)) + "x");
+        }
+      }
+    }
+  }
+
+  void FindDisconnected() {
+    std::unordered_set<const Node*> has_inbound;
+    for (const auto& [pair, link] : forward_) {
+      has_inbound.insert(pair.second);
+    }
+    for (const Node* node : graph_.nodes()) {
+      if (node->placeholder() || node->deleted()) {
+        continue;
+      }
+      bool has_outbound = false;
+      bool has_alias = false;
+      for (const Link* link = node->links; link != nullptr; link = link->next) {
+        if (link->alias()) {
+          has_alias = true;
+        } else {
+          has_outbound = true;
+        }
+      }
+      bool inbound = has_inbound.contains(node);
+      if (!has_outbound && !inbound && !has_alias) {
+        ++report_.isolated_hosts;
+        Add(AuditSeverity::kProblem, "isolated-host",
+            std::string(node->name) + " is declared but connected to nothing");
+      } else if (!inbound && !has_alias) {
+        ++report_.no_inbound_hosts;
+      }
+    }
+  }
+
+  void FindUnenterableNetsAndDomains() {
+    for (const Node* node : graph_.nodes()) {
+      if (!node->placeholder() || node->deleted()) {
+        continue;
+      }
+      bool has_member = false;
+      for (const Link* link = node->links; link != nullptr; link = link->next) {
+        if (link->net_member() || (!link->alias() && node->domain())) {
+          has_member = true;
+          break;
+        }
+      }
+      bool enterable = false;
+      bool gateway_ok = (node->flags & kNodeExplicitGateways) == 0;
+      for (const auto& [pair, link] : forward_) {
+        if (pair.second == node) {
+          enterable = true;
+          if (link->gateway()) {
+            gateway_ok = true;
+          }
+        }
+      }
+      if (!enterable) {
+        Add(AuditSeverity::kProblem, "unenterable-net",
+            std::string(node->name) + (node->domain() ? " (domain)" : " (network)") +
+                " has no links into it; its members are unreachable through it");
+      } else if (!gateway_ok) {
+        Add(AuditSeverity::kProblem, "gatewayless-net",
+            std::string(node->name) +
+                " requires explicit gateways but none of its inbound links is one");
+      }
+      if (!has_member) {
+        Add(AuditSeverity::kSuspicious, "empty-net",
+            std::string(node->name) + (node->domain() ? " (domain)" : " (network)") +
+                " has no members");
+      }
+    }
+  }
+
+  void FindDeadRelays() {
+    for (const Node* node : graph_.nodes()) {
+      if (!node->terminal() && !node->deleted()) {
+        continue;
+      }
+      size_t still_referenced = 0;
+      for (const auto& [pair, link] : forward_) {
+        if (pair.second == node && !link->invented()) {
+          ++still_referenced;
+        }
+      }
+      if (still_referenced >= 2) {
+        Add(AuditSeverity::kInfo, "dead-but-popular",
+            std::string(node->name) + " is declared " +
+                (node->deleted() ? "deleted" : "dead") + " yet " +
+                std::to_string(still_referenced) +
+                " links still point at it; neighbor data may be stale");
+      }
+    }
+  }
+
+  const Graph& graph_;
+  const AuditOptions& options_;
+  AuditReport report_;
+  std::unordered_map<std::pair<const Node*, const Node*>, const Link*, PairHash> forward_;
+  std::unordered_map<std::string, size_t> per_category_;
+};
+
+}  // namespace
+
+std::string_view ToString(AuditSeverity severity) {
+  switch (severity) {
+    case AuditSeverity::kInfo:
+      return "info";
+    case AuditSeverity::kSuspicious:
+      return "suspicious";
+    case AuditSeverity::kProblem:
+      return "PROBLEM";
+  }
+  return "unknown";
+}
+
+size_t AuditReport::CountAtLeast(AuditSeverity severity) const {
+  size_t count = 0;
+  for (const AuditFinding& finding : findings) {
+    if (static_cast<int>(finding.severity) >= static_cast<int>(severity)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::string AuditReport::ToString() const {
+  std::ostringstream out;
+  out << "map audit: " << hosts << " hosts, " << placeholders << " nets/domains, " << links
+      << " links\n";
+  out << "  average degree " << average_degree << ", max " << max_degree << " ("
+      << max_degree_host << ")\n";
+  out << "  " << one_way_links << " one-way links, " << no_inbound_hosts
+      << " hosts nobody calls, " << isolated_hosts << " isolated\n";
+  for (AuditSeverity severity :
+       {AuditSeverity::kProblem, AuditSeverity::kSuspicious, AuditSeverity::kInfo}) {
+    for (const AuditFinding& finding : findings) {
+      if (finding.severity == severity) {
+        out << "  [" << pathalias::ToString(severity) << "/" << finding.category << "] "
+            << finding.message << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+AuditReport AuditGraph(const Graph& graph, const AuditOptions& options) {
+  return Auditor(graph, options).Run();
+}
+
+}  // namespace pathalias

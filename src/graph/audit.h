@@ -1,0 +1,74 @@
+// Static map auditing (paper §History and §Problems).
+//
+// "Because the data were often contradictory and error-filled, it was necessary to
+// inspect and edit the data manually."  This module is that inspection, mechanized:
+// it examines a parsed Graph (no mapping required) and reports the defect patterns the
+// UUCP mapping project fought —
+//   * host-name collisions: one node whose outgoing links are declared by several
+//     different files ("we would be pleased if ... data either marked host name
+//     collisions with private declarations or simply excluded them");
+//   * one-way links (call-out-only hosts survive via back-link invention, but each one
+//     is worth a look) and wildly asymmetric costs on link pairs;
+//   * isolated hosts, hosts no link points at, domains nothing connects to;
+//   * gatewayed networks without a single usable gateway;
+//   * dead/deleted hosts that other sites still list as neighbors.
+//
+// The `mapcheck` tool wraps this for map maintainers; tests drive it directly.
+
+#ifndef SRC_GRAPH_AUDIT_H_
+#define SRC_GRAPH_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace pathalias {
+
+enum class AuditSeverity {
+  kInfo,        // worth knowing
+  kSuspicious,  // probably fine, possibly a data error
+  kProblem,     // almost certainly wrong
+};
+
+std::string_view ToString(AuditSeverity severity);
+
+struct AuditFinding {
+  AuditSeverity severity = AuditSeverity::kInfo;
+  std::string category;  // stable machine-readable tag, e.g. "name-collision"
+  std::string message;
+};
+
+struct AuditReport {
+  std::vector<AuditFinding> findings;
+
+  // Summary statistics.
+  size_t hosts = 0;         // real hosts (placeholders excluded)
+  size_t placeholders = 0;  // nets + domains
+  size_t links = 0;
+  size_t one_way_links = 0;
+  size_t isolated_hosts = 0;
+  size_t no_inbound_hosts = 0;
+  double average_degree = 0.0;
+  size_t max_degree = 0;
+  std::string max_degree_host;
+
+  size_t CountAtLeast(AuditSeverity severity) const;
+  bool clean() const { return CountAtLeast(AuditSeverity::kProblem) == 0; }
+
+  // Human-readable report: summary block, then findings grouped by severity.
+  std::string ToString() const;
+};
+
+struct AuditOptions {
+  // Flag pairs of opposite links whose costs differ by more than this factor.
+  double cost_asymmetry_factor = 20.0;
+  // Cap per-category findings so a rotten map still yields a readable report.
+  size_t max_findings_per_category = 25;
+};
+
+AuditReport AuditGraph(const Graph& graph, const AuditOptions& options = AuditOptions());
+
+}  // namespace pathalias
+
+#endif  // SRC_GRAPH_AUDIT_H_

@@ -1,0 +1,202 @@
+#include "src/graph/cost.h"
+
+#include <array>
+#include <cctype>
+
+namespace pathalias {
+namespace {
+
+constexpr std::array<CostSymbol, 10> kSymbols = {{
+    {"LOCAL", 25},
+    {"DEDICATED", 95},
+    {"DIRECT", 200},
+    {"DEMAND", 300},
+    {"HOURLY", 500},
+    {"EVENING", 1800},
+    {"POLLED", 5000},
+    {"DAILY", 5000},
+    {"WEEKLY", 30000},
+    {"DEAD", kInfinity},
+}};
+
+// Bound intermediate results so pathological expressions cannot overflow int64 even
+// after repeated multiplication.
+constexpr Cost kExprLimit = INT64_MAX / 1024;
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::string_view text) : text_(text) {}
+
+  CostParse Parse() {
+    std::optional<Cost> value = ParseSum();
+    SkipSpace();
+    if (value && pos_ != text_.size()) {
+      Fail("trailing characters in cost expression");
+      value = std::nullopt;
+    }
+    if (!value) {
+      return {std::nullopt, error_.empty() ? "malformed cost expression" : error_};
+    }
+    return {value, {}};
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void Fail(std::string message) {
+    if (error_.empty()) {
+      error_ = std::move(message);
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Cost> ParseSum() {
+    std::optional<Cost> left = ParseTerm();
+    while (left) {
+      if (Eat('+')) {
+        if (auto right = ParseTerm()) {
+          left = Check(*left + *right);
+        } else {
+          return std::nullopt;
+        }
+      } else if (Eat('-')) {
+        if (auto right = ParseTerm()) {
+          left = Check(*left - *right);
+        } else {
+          return std::nullopt;
+        }
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  std::optional<Cost> ParseTerm() {
+    std::optional<Cost> left = ParseUnary();
+    while (left) {
+      if (Eat('*')) {
+        if (auto right = ParseUnary()) {
+          left = Check(*left * *right);
+        } else {
+          return std::nullopt;
+        }
+      } else if (Eat('/')) {
+        auto right = ParseUnary();
+        if (!right) {
+          return std::nullopt;
+        }
+        if (*right == 0) {
+          Fail("division by zero in cost expression");
+          return std::nullopt;
+        }
+        left = Check(*left / *right);
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  std::optional<Cost> ParseUnary() {
+    if (Eat('-')) {
+      auto value = ParseUnary();
+      if (!value) {
+        return std::nullopt;
+      }
+      return Check(-*value);
+    }
+    if (Eat('+')) {
+      return ParseUnary();
+    }
+    return ParsePrimary();
+  }
+
+  std::optional<Cost> ParsePrimary() {
+    SkipSpace();
+    if (Eat('(')) {
+      auto value = ParseSum();
+      if (!value) {
+        return std::nullopt;
+      }
+      if (!Eat(')')) {
+        Fail("missing ')' in cost expression");
+        return std::nullopt;
+      }
+      return value;
+    }
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of cost expression");
+      return std::nullopt;
+    }
+    unsigned char c = static_cast<unsigned char>(text_[pos_]);
+    if (std::isdigit(c)) {
+      Cost value = 0;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = value * 10 + (text_[pos_] - '0');
+        if (value > kExprLimit) {
+          Fail("cost constant too large");
+          return std::nullopt;
+        }
+        ++pos_;
+      }
+      return value;
+    }
+    if (std::isalpha(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      std::string_view name = text_.substr(start, pos_ - start);
+      if (auto symbol = LookupCostSymbol(name)) {
+        return *symbol;
+      }
+      Fail("unknown cost symbol '" + std::string(name) + "'");
+      return std::nullopt;
+    }
+    Fail(std::string("unexpected character '") + text_[pos_] + "' in cost expression");
+    return std::nullopt;
+  }
+
+  std::optional<Cost> Check(Cost value) {
+    if (value > kExprLimit || value < -kExprLimit) {
+      Fail("cost expression overflow");
+      return std::nullopt;
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::span<const CostSymbol> CostSymbols() { return kSymbols; }
+
+std::optional<Cost> LookupCostSymbol(std::string_view name) {
+  for (const CostSymbol& symbol : kSymbols) {
+    if (symbol.name == name) {
+      return symbol.value;
+    }
+  }
+  return std::nullopt;
+}
+
+CostParse EvalCostExpression(std::string_view text) { return ExprParser(text).Parse(); }
+
+}  // namespace pathalias

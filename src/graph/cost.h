@@ -1,0 +1,58 @@
+// The pathalias cost model (paper §Input).
+//
+// Costs are pragmatic, not physical: symbolic grades of connection quality, tuned until
+// "the paths produced were reasonable" in the judgement of experienced users.  Note the
+// deliberate distortion the paper calls out: DAILY is 10× HOURLY rather than 24×,
+// because per-hop overhead dominates and paths must be kept short.
+//
+// Costs may be arbitrary arithmetic expressions mixing numbers and symbols, e.g.
+// HOURLY*3 ("completed once every three hours") or DAILY/2.
+
+#ifndef SRC_GRAPH_COST_H_
+#define SRC_GRAPH_COST_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace pathalias {
+
+using Cost = int64_t;
+
+// The paper's "essentially infinite" penalty quantum.  Heuristic violations add this;
+// routes that accumulate it still exist but lose to any clean route.  (Keeping it
+// finite matters: a host reachable only through a gatewayed net must still be routed.)
+inline constexpr Cost kInfinity = 30'000'000;
+
+// Cost used for a link declared without one.  [R] The paper does not state a default;
+// this sits between EVENING and DAILY/POLLED, i.e. "assume a mediocre link".
+inline constexpr Cost kDefaultCost = 4'000;
+
+// Sentinel for "no path found (yet)".  Far above any real sum but safe from overflow.
+inline constexpr Cost kUnreached = INT64_MAX / 4;
+
+struct CostSymbol {
+  std::string_view name;
+  Cost value;
+};
+
+// Table 1 of the paper, verbatim, plus DEAD [R] as a spelled-out kInfinity.
+std::span<const CostSymbol> CostSymbols();
+
+// Case-sensitive symbol lookup (the table is upper-case by convention).
+std::optional<Cost> LookupCostSymbol(std::string_view name);
+
+struct CostParse {
+  std::optional<Cost> value;
+  std::string error;  // set iff !value
+};
+
+// Evaluates a cost expression: integers, Table-1 symbols, + - * / and parentheses,
+// with unary minus.  Division truncates toward zero (DAILY/2 == 2500).
+CostParse EvalCostExpression(std::string_view text);
+
+}  // namespace pathalias
+
+#endif  // SRC_GRAPH_COST_H_

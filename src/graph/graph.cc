@@ -1,0 +1,283 @@
+#include "src/graph/graph.h"
+
+#include <cctype>
+
+namespace pathalias {
+namespace {
+
+std::string Describe(const Node* from, const Node* to) {
+  return std::string(from->name) + "!" + to->name;
+}
+
+}  // namespace
+
+Graph::Graph(Diagnostics* diag) : Graph(diag, Options()) {}
+
+Graph::Graph(Diagnostics* diag, Options options)
+    : diag_(diag), options_(options), table_(&arena_, /*initial_capacity=*/61) {}
+
+int Graph::BeginFile(std::string_view file_name) {
+  files_.emplace_back(file_name);
+  current_file_ = static_cast<int>(files_.size()) - 1;
+  return current_file_;
+}
+
+void Graph::EndFile() { current_file_ = -1; }
+
+std::string_view Graph::Fold(std::string_view name, std::string& storage) const {
+  if (!options_.ignore_case) {
+    return name;
+  }
+  storage.assign(name);
+  for (char& c : storage) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return storage;
+}
+
+Node* Graph::CreateNode(std::string_view name, bool is_private) {
+  Node* node = arena_.New<Node>();
+  node->name = arena_.InternString(name);
+  node->order = static_cast<int32_t>(nodes_.size());
+  if (IsDomainName(name)) {
+    // Domains are placeholders and always require gateways (paper §Gatewayed networks:
+    // "domains and subdomains are assumed to require gateways").
+    node->flags |= kNodeDomain | kNodeGatewayed;
+  }
+  if (is_private) {
+    node->flags |= kNodePrivate;
+    node->private_file = current_file_;
+  }
+  nodes_.push_back(node);
+
+  if (table_.stolen()) {
+    return node;  // findable via the linear-scan path only
+  }
+  Node** chain = table_.Find(name);
+  if (chain == nullptr) {
+    table_.Insert(node->name, node);
+    return node;
+  }
+  if (is_private) {
+    // Private nodes shadow at the head; the global (if any) stays at the tail.
+    node->shadow = *chain;
+    *chain = node;
+  } else {
+    Node* tail = *chain;
+    while (tail->shadow != nullptr) {
+      tail = tail->shadow;
+    }
+    tail->shadow = node;
+  }
+  return node;
+}
+
+Node* Graph::Find(std::string_view name) {
+  std::string folded;
+  name = Fold(name, folded);
+  if (table_.stolen()) {
+    // The mapper adopted the hash table's storage for its heap (paper §Calculating
+    // shortest paths).  Post-mapping lookups are rare (tests, tools, resolvers), so a
+    // linear scan honoring the same visibility rules suffices.
+    for (Node* node : nodes_) {
+      if (name == node->name_view() && Visible(node)) {
+        return node;
+      }
+    }
+    return nullptr;
+  }
+  Node** chain = table_.Find(name);
+  for (Node* node = chain ? *chain : nullptr; node != nullptr; node = node->shadow) {
+    if (Visible(node)) {
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+Node* Graph::Intern(std::string_view name) {
+  std::string folded;
+  name = Fold(name, folded);
+  if (Node* existing = Find(name)) {
+    return existing;
+  }
+  return CreateNode(name, /*is_private=*/false);
+}
+
+Link* Graph::AddLink(Node* from, Node* to, Cost cost, char op, bool right_syntax,
+                     SourcePos pos, uint32_t extra_flags) {
+  if (from == to) {
+    diag_->Warn(pos, "link from " + std::string(from->name) + " to itself ignored");
+    return nullptr;
+  }
+  if (cost < 0) {
+    diag_->Warn(pos, "negative cost on link " + Describe(from, to) + " clamped to 0");
+    cost = 0;
+  }
+  // Duplicate resolution: the same physical link reported twice (usually by the two
+  // endpoint sites) keeps the cheaper estimate.
+  for (Link* link = from->links; link != nullptr; link = link->next) {
+    if (link->to != to || link->alias()) {
+      continue;
+    }
+    if (link->cost != cost) {
+      Severity severity =
+          link->decl_file == current_file_ && link->decl_file >= 0 && (extra_flags == 0)
+              ? Severity::kWarning
+              : Severity::kNote;
+      diag_->Report(severity, pos,
+                    "duplicate link " + Describe(from, to) + " declared with cost " +
+                        std::to_string(cost) + " (previously " + std::to_string(link->cost) +
+                        "); keeping the cheaper");
+      if (cost < link->cost) {
+        link->cost = cost;
+        link->op = op;
+        if (right_syntax) {
+          link->flags |= kLinkRight;
+        } else {
+          link->flags &= ~static_cast<uint32_t>(kLinkRight);
+        }
+        link->decl_file = current_file_;
+        link->decl_line = pos.line;
+      }
+    }
+    link->flags |= extra_flags;
+    return link;
+  }
+  Link* link = arena_.New<Link>();
+  link->to = to;
+  link->cost = cost;
+  link->op = op;
+  link->flags = extra_flags | (right_syntax ? kLinkRight : 0u);
+  link->decl_file = current_file_;
+  link->decl_line = pos.line;
+  if (from->links_tail == nullptr) {
+    from->links = link;
+  } else {
+    from->links_tail->next = link;
+  }
+  from->links_tail = link;
+  ++link_count_;
+  return link;
+}
+
+void Graph::AddAlias(Node* a, Node* b, SourcePos pos) {
+  if (a == b) {
+    diag_->Warn(pos, "alias of " + std::string(a->name) + " to itself ignored");
+    return;
+  }
+  for (Link* link = a->links; link != nullptr; link = link->next) {
+    if (link->to == b && link->alias()) {
+      return;  // already aliased
+    }
+  }
+  // "A pair of zero cost edges connects aliases."
+  for (auto [from, to] : {std::pair{a, b}, std::pair{b, a}}) {
+    Link* link = arena_.New<Link>();
+    link->to = to;
+    link->cost = 0;
+    link->flags = kLinkAlias;
+    link->decl_file = current_file_;
+    link->decl_line = pos.line;
+    if (from->links_tail == nullptr) {
+      from->links = link;
+    } else {
+      from->links_tail->next = link;
+    }
+    from->links_tail = link;
+    ++link_count_;
+  }
+}
+
+Node* Graph::DeclareNet(Node* net, const std::vector<Node*>& members, Cost cost, char op,
+                        bool right_syntax, SourcePos pos) {
+  if (!net->domain()) {
+    net->flags |= kNodeNet;
+  }
+  for (Node* member : members) {
+    if (member == net) {
+      diag_->Warn(pos, "network " + std::string(net->name) + " lists itself as a member");
+      continue;
+    }
+    // "the weight applies only to the edges originating at network members; the weight
+    // of edges from the network node to its members is zero."
+    AddLink(member, net, cost, op, right_syntax, pos);
+    AddLink(net, member, 0, op, right_syntax, pos, kLinkNetMember);
+  }
+  return net;
+}
+
+void Graph::DeclarePrivate(std::string_view name, SourcePos pos) {
+  std::string folded;
+  name = Fold(name, folded);
+  Node** chain = table_.Find(name);
+  for (Node* node = chain ? *chain : nullptr; node != nullptr; node = node->shadow) {
+    if (node->is_private() && node->private_file == current_file_) {
+      diag_->Warn(pos, "host " + std::string(name) + " is already private in this file");
+      return;
+    }
+  }
+  CreateNode(name, /*is_private=*/true);
+}
+
+void Graph::MarkDeadHost(Node* host, SourcePos pos) {
+  (void)pos;
+  // A dead host may still receive mail but must not relay it; the mapper charges
+  // +kInfinity for every path leaving it.
+  host->flags |= kNodeTerminal;
+}
+
+void Graph::MarkDeadLink(Node* from, Node* to, SourcePos pos) {
+  for (Link* link = from->links; link != nullptr; link = link->next) {
+    if (link->to == to && !link->alias()) {
+      link->flags |= kLinkDead;
+      return;
+    }
+  }
+  diag_->Warn(pos, "dead link " + Describe(from, to) + " was never declared; ignored");
+}
+
+void Graph::DeleteHost(Node* host, SourcePos pos) {
+  (void)pos;
+  host->flags |= kNodeDeleted;
+}
+
+void Graph::AdjustHost(Node* host, Cost amount, SourcePos pos) {
+  (void)pos;
+  host->adjust += amount;
+}
+
+void Graph::MarkGatewayed(Node* net, SourcePos pos) {
+  (void)pos;
+  net->flags |= kNodeGatewayed;
+}
+
+void Graph::MarkGatewayLink(Node* net, Node* gateway, SourcePos pos) {
+  net->flags |= kNodeGatewayed | kNodeExplicitGateways;
+  for (Link* link = gateway->links; link != nullptr; link = link->next) {
+    if (link->to == net && !link->alias()) {
+      link->flags |= kLinkGateway;
+      return;
+    }
+  }
+  diag_->Note(pos, "gateway " + std::string(gateway->name) + " had no declared link into " +
+                       net->name + "; creating one at zero cost");
+  AddLink(gateway, net, 0, kDefaultOp, /*right_syntax=*/false, pos, kLinkGateway);
+}
+
+Node* Graph::SetLocal(std::string_view name) {
+  Node* node = Find(name);
+  if (node == nullptr) {
+    diag_->Warn(SourcePos{}, "local host " + std::string(name) +
+                                 " does not appear in the map; only trivial routes result");
+    node = Intern(name);
+  }
+  if (local_ != nullptr) {
+    local_->flags &= ~static_cast<uint32_t>(kNodeLocal);
+  }
+  local_ = node;
+  node->flags |= kNodeLocal;
+  return node;
+}
+
+}  // namespace pathalias

@@ -1,0 +1,124 @@
+// The in-memory connectivity graph (paper §Data structures).
+//
+// Owns the arena every Node/Link/name lives in, the host-name hash table, and the
+// semantic rules the input language needs:
+//   * private-name scoping — identically named hosts in different files stay distinct
+//     (paper §Host name collisions), implemented as shadow chains hanging off the hash
+//     table entry rather than by deletion (the table has no erase);
+//   * duplicate-link resolution — the same link declared twice keeps the cheaper cost
+//     [R: the paper notes file boundaries matter here but not the rule; cheapest-wins
+//     with a warning on conflicting same-file declarations is our reconstruction];
+//   * network declarations — a net is a single placeholder node with member→net edges
+//     at the declared cost and net→member edges at zero ("you pay to get into the City,
+//     but you get back to Jersey for free");
+//   * aliases — pairs of zero-cost ALIAS edges; "aliases are a property of edges, not
+//     vertices", so nosc (ARPANET) and noscvax (UUCP) resolve per-route;
+//   * dead / delete / adjust / gatewayed / gateway declarations.
+
+#ifndef SRC_GRAPH_GRAPH_H_
+#define SRC_GRAPH_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/link.h"
+#include "src/graph/node.h"
+#include "src/support/arena.h"
+#include "src/support/diag.h"
+#include "src/support/hash_table.h"
+
+namespace pathalias {
+
+class Graph {
+ public:
+  struct Options {
+    bool ignore_case = false;  // -i: fold host names to lower case
+  };
+
+  explicit Graph(Diagnostics* diag);
+  Graph(Diagnostics* diag, Options options);
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // --- input file scoping (drives private-name visibility) ---
+
+  // Starts reading a named input file; returns its index.
+  int BeginFile(std::string_view file_name);
+  void EndFile();
+  const std::vector<std::string>& files() const { return files_; }
+  int current_file() const { return current_file_; }
+
+  // --- node and link construction ---
+
+  // Finds the visible node named `name`, creating a global one if absent.
+  Node* Intern(std::string_view name);
+
+  // Finds the visible node named `name`; nullptr if none exists.
+  Node* Find(std::string_view name);
+
+  // Adds a directed edge.  Returns the link (a pre-existing one if this declaration
+  // duplicates it), or nullptr for a rejected self-link.
+  Link* AddLink(Node* from, Node* to, Cost cost, char op, bool right_syntax, SourcePos pos,
+                uint32_t extra_flags = 0);
+
+  // Declares `a` and `b` to be the same machine (a pair of zero-cost ALIAS edges).
+  void AddAlias(Node* a, Node* b, SourcePos pos);
+
+  // NAME = op{members}(cost): placeholder node, member→net at `cost`, net→member at 0.
+  Node* DeclareNet(Node* net, const std::vector<Node*>& members, Cost cost, char op,
+                   bool right_syntax, SourcePos pos);
+
+  // --- keyword declarations ---
+
+  void DeclarePrivate(std::string_view name, SourcePos pos);
+  void MarkDeadHost(Node* host, SourcePos pos);
+  void MarkDeadLink(Node* from, Node* to, SourcePos pos);
+  void DeleteHost(Node* host, SourcePos pos);
+  void AdjustHost(Node* host, Cost amount, SourcePos pos);
+  void MarkGatewayed(Node* net, SourcePos pos);
+  // Declares `gateway` a sanctioned entry into `net`: flags the gateway→net link,
+  // creating it at zero cost if the map never declared one.
+  void MarkGatewayLink(Node* net, Node* gateway, SourcePos pos);
+
+  // --- the distinguished source vertex ---
+
+  // Names the local host (the Dijkstra source).  Creates the node if the map never
+  // mentioned it (with a warning: routes will then only cover the local host itself).
+  Node* SetLocal(std::string_view name);
+  Node* local() const { return local_; }
+
+  // --- introspection ---
+
+  std::span<Node* const> nodes() const { return nodes_; }
+  size_t node_count() const { return nodes_.size(); }
+  size_t link_count() const { return link_count_; }
+
+  Arena& arena() { return arena_; }
+  Diagnostics& diag() { return *diag_; }
+  HashTable<Node*>& table() { return table_; }
+
+ private:
+  Node* CreateNode(std::string_view name, bool is_private);
+  bool Visible(const Node* node) const {
+    return !node->is_private() || node->private_file == current_file_;
+  }
+  // Case-folded copy when ignore_case is set; otherwise `name` itself.
+  std::string_view Fold(std::string_view name, std::string& storage) const;
+
+  Diagnostics* diag_;
+  Options options_;
+  Arena arena_;
+  HashTable<Node*> table_;
+  std::vector<Node*> nodes_;
+  std::vector<std::string> files_;
+  size_t link_count_ = 0;
+  int current_file_ = -1;
+  Node* local_ = nullptr;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_GRAPH_GRAPH_H_

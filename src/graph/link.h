@@ -1,0 +1,52 @@
+// Link: one element of a node's adjacency list (paper §Graph representation).
+//
+// "A list element, called a link, contains a pointer to the next link on the list, a
+// pointer to the destination host on the edge it represents, a non-negative cost, and
+// some flags."  We add the routing-operator character and the declaration site (for
+// duplicate-link diagnostics).  Links are arena-allocated and trivially destructible.
+
+#ifndef SRC_GRAPH_LINK_H_
+#define SRC_GRAPH_LINK_H_
+
+#include <cstdint>
+
+#include "src/graph/cost.h"
+
+namespace pathalias {
+
+struct Node;
+
+enum LinkFlag : uint32_t {
+  kLinkDead = 1u << 0,       // declared dead; traversal costs +kInfinity
+  kLinkAlias = 1u << 1,      // zero-cost alias edge ("aliases are a property of edges")
+  kLinkGateway = 1u << 2,    // sanctioned entry into a gatewayed net/domain
+  kLinkRight = 1u << 3,      // host appears to the right of the operator (%s@host)
+  kLinkNetMember = 1u << 4,  // generated net→member edge ("you get off for free")
+  kLinkInvented = 1u << 5,   // back link invented for an unreachable host
+  kLinkTraced = 1u << 6,     // -t: report every relaxation over this link
+};
+
+// The default routing convention is UUCP: host!user, i.e. '!' with the host on the left.
+inline constexpr char kDefaultOp = '!';
+
+struct Link {
+  Link* next = nullptr;
+  Node* to = nullptr;
+  Cost cost = 0;
+  uint32_t flags = 0;
+  char op = kDefaultOp;
+  int32_t decl_file = -1;  // index into Graph::files(); -1 for generated links
+  int32_t decl_line = 0;
+
+  bool dead() const { return (flags & kLinkDead) != 0; }
+  bool alias() const { return (flags & kLinkAlias) != 0; }
+  bool gateway() const { return (flags & kLinkGateway) != 0; }
+  bool right_syntax() const { return (flags & kLinkRight) != 0; }
+  bool net_member() const { return (flags & kLinkNetMember) != 0; }
+  bool invented() const { return (flags & kLinkInvented) != 0; }
+  bool traced() const { return (flags & kLinkTraced) != 0; }
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_GRAPH_LINK_H_

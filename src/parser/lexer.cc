@@ -1,0 +1,97 @@
+#include "src/parser/lexer.h"
+
+namespace pathalias {
+
+Token Lexer::Next() {
+  for (;;) {
+    if (pos_ >= input_.size()) {
+      return Token{TokenKind::kEnd, {}, line_, 0};
+    }
+    char c = input_[pos_];
+    switch (c) {
+      case ' ':
+      case '\t':
+      case '\r':
+        ++pos_;
+        continue;
+      case '\\':
+        if (PeekAt(1) == '\n') {  // line splice
+          pos_ += 2;
+          ++line_;
+          continue;
+        }
+        ++pos_;
+        return Token{TokenKind::kBad, input_.substr(pos_ - 1, 1), line_, 0};
+      case '#':
+        while (pos_ < input_.size() && input_[pos_] != '\n') {
+          ++pos_;
+        }
+        continue;
+      case '\n': {
+        Token token{TokenKind::kNewline, input_.substr(pos_, 1), line_, 0};
+        ++pos_;
+        ++line_;
+        return token;
+      }
+      case ',':
+        ++pos_;
+        return Token{TokenKind::kComma, input_.substr(pos_ - 1, 1), line_, 0};
+      case '{':
+        ++pos_;
+        return Token{TokenKind::kLBrace, input_.substr(pos_ - 1, 1), line_, 0};
+      case '}':
+        ++pos_;
+        return Token{TokenKind::kRBrace, input_.substr(pos_ - 1, 1), line_, 0};
+      case '(':
+        ++pos_;
+        return Token{TokenKind::kLParen, input_.substr(pos_ - 1, 1), line_, 0};
+      case ')':
+        ++pos_;
+        return Token{TokenKind::kRParen, input_.substr(pos_ - 1, 1), line_, 0};
+      case '=':
+        ++pos_;
+        return Token{TokenKind::kEquals, input_.substr(pos_ - 1, 1), line_, 0};
+      case '!':
+      case '@':
+      case ':':
+      case '%':
+        ++pos_;
+        return Token{TokenKind::kOp, input_.substr(pos_ - 1, 1), line_, c};
+      default:
+        break;
+    }
+    if (IsNameChar(c)) {
+      size_t start = pos_;
+      while (pos_ < input_.size() && IsNameChar(input_[pos_])) {
+        ++pos_;
+      }
+      return Token{TokenKind::kName, input_.substr(start, pos_ - start), line_, 0};
+    }
+    ++pos_;
+    return Token{TokenKind::kBad, input_.substr(pos_ - 1, 1), line_, 0};
+  }
+}
+
+std::string_view Lexer::CaptureParenBody() {
+  size_t start = pos_;
+  int depth = 1;
+  while (pos_ < input_.size()) {
+    char c = input_[pos_];
+    if (c == '(') {
+      ++depth;
+    } else if (c == ')') {
+      --depth;
+      if (depth == 0) {
+        std::string_view body = input_.substr(start, pos_ - start);
+        ++pos_;
+        return body;
+      }
+    } else if (c == '\n') {
+      ++line_;
+    }
+    ++pos_;
+  }
+  return input_.substr(start);  // unterminated; parser reports it
+}
+
+}  // namespace pathalias

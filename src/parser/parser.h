@@ -1,0 +1,90 @@
+// Recursive-descent parser for the pathalias input language (paper §Input, §Parsing).
+//
+// The original used yacc with syntax-directed translation; the grammar is small enough
+// that recursive descent expresses it directly (and keeps the scanner comparison of
+// experiment E4 free of parser-generator noise).  Grammar reference: DESIGN.md §2.
+//
+// Error recovery is line-based, matching the data's reality ("often contradictory and
+// error-filled"): a malformed declaration is reported and skipped through the next
+// newline; parsing always continues.
+
+#ifndef SRC_PARSER_PARSER_H_
+#define SRC_PARSER_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/parser/lexer.h"
+#include "src/parser/scanner.h"
+
+namespace pathalias {
+
+// One input map file.  Site maps are distributed per-machine; file identity matters
+// because private-name scope and duplicate-link severity are per-file.
+struct InputFile {
+  std::string name;
+  std::string content;
+};
+
+class Parser {
+ public:
+  explicit Parser(Graph* graph) : graph_(graph) {}
+
+  // Parses one file through the given scanner.  Errors are reported to the graph's
+  // diagnostics; returns the number of declarations accepted.
+  int ParseFile(std::string_view file_name, Scanner& scanner);
+
+  // Convenience: parse with the production Lexer.
+  int ParseFile(const InputFile& file);
+  int ParseFiles(const std::vector<InputFile>& files);
+
+  // First host declared across all parsed files: the default local host when the
+  // caller provides none [R].
+  std::string_view first_host() const { return first_host_; }
+
+ private:
+  struct LinkSpec {
+    std::string_view name;
+    char op = kDefaultOp;
+    bool right = false;
+    Cost cost = kDefaultCost;
+    bool ok = false;
+  };
+
+  // --- token plumbing ---
+  void Advance();
+  bool At(TokenKind kind) const { return token_.kind == kind; }
+  SourcePos Here() const;
+  void ErrorHere(std::string message);
+  void SyncToNewline();
+  void SkipNewlines();
+
+  // --- productions ---
+  void ParseLine();
+  void ParseHostDeclaration(Token name);
+  void ParseEqualsDeclaration(Token name);  // alias or network
+  bool ParseKeywordDeclaration(const Token& name);
+  LinkSpec ParseLinkSpec();
+  // Parses "(expr)" if present; returns fallback otherwise.
+  Cost ParseOptionalCost(Cost fallback, bool* had_cost = nullptr);
+
+  void ParsePrivateBody();
+  void ParseDeadBody();
+  void ParseDeleteBody();
+  void ParseAdjustBody();
+  void ParseGatewayedBody();
+  void ParseGatewayBody();
+
+  Graph* graph_;
+  Scanner* scanner_ = nullptr;
+  std::string file_name_;
+  Token token_;
+  std::string first_host_;
+  int accepted_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_PARSER_PARSER_H_

@@ -1,0 +1,36 @@
+// Scanner interface.
+//
+// The paper reports that a lex-generated scanner consumed half of pathalias's total run
+// time, and that replacing it with a simple hand-built scanner "cut the overall run time
+// by 40%".  To let experiment E4 reproduce that comparison, the parser is written
+// against this interface; the production Lexer and the baseline SlowScanner both
+// implement it.
+
+#ifndef SRC_PARSER_SCANNER_H_
+#define SRC_PARSER_SCANNER_H_
+
+#include <string_view>
+
+#include "src/parser/token.h"
+
+namespace pathalias {
+
+class Scanner {
+ public:
+  virtual ~Scanner() = default;
+
+  // Produces the next token.  Returns kEnd forever once input is exhausted.
+  virtual Token Next() = 0;
+
+  // Called when the parser has just consumed a kLParen: scans raw text to the matching
+  // close parenthesis (nesting-aware), consumes it, and returns the body — the cost
+  // expression evaluator takes over from there.
+  virtual std::string_view CaptureParenBody() = 0;
+
+  // Current 1-based line (for diagnostics on capture errors).
+  virtual int line() const = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_PARSER_SCANNER_H_

@@ -1,0 +1,44 @@
+// Lexical tokens of the pathalias input language.
+
+#ifndef SRC_PARSER_TOKEN_H_
+#define SRC_PARSER_TOKEN_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pathalias {
+
+enum class TokenKind : uint8_t {
+  kName,     // host / network / domain / keyword name
+  kComma,    // ,
+  kLBrace,   // {
+  kRBrace,   // }
+  kLParen,   // (   (opens a cost expression; body is captured raw)
+  kRParen,   // )   (only seen on stray closers; cost capture consumes the matching one)
+  kEquals,   // =
+  kOp,       // routing operator: one of ! @ : %
+  kNewline,  // end of a declaration
+  kEnd,      // end of input
+  kBad,      // unrecognized byte
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string_view text;  // name text, or the single punctuation character
+  int line = 0;           // 1-based
+  char op = 0;            // for kOp: the operator character
+};
+
+// Characters legal in host/net/domain names.  UUCP names use letters, digits and a few
+// punctuation marks; '.' also spells domains, '-' appears in net names like UNC-dwarf.
+inline bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') ||
+         c == '.' || c == '-' || c == '_' || c == '+';
+}
+
+// Routing operator characters ("network characters" in the original's terms).
+inline bool IsOpChar(char c) { return c == '!' || c == '@' || c == ':' || c == '%'; }
+
+}  // namespace pathalias
+
+#endif  // SRC_PARSER_TOKEN_H_

@@ -1,0 +1,89 @@
+#include "src/route_db/address.h"
+
+namespace pathalias {
+namespace {
+
+// Splits off relays from a pure bang path: "a!b!rest" appends a, b; returns "rest".
+std::string_view ConsumeBangs(std::string_view text, Address& address) {
+  size_t bang;
+  while ((bang = text.find('!')) != std::string_view::npos) {
+    address.saw_bang = true;
+    address.path.emplace_back(text.substr(0, bang));
+    text = text.substr(bang + 1);
+  }
+  return text;
+}
+
+// Handles "user%h2%h3@?..." local parts: each % names a further relay, applied
+// right-to-left after the @ host.
+void ConsumePercents(std::string_view local, Address& address) {
+  std::vector<std::string_view> parts;
+  size_t percent;
+  while ((percent = local.rfind('%')) != std::string_view::npos) {
+    address.saw_percent = true;
+    parts.push_back(local.substr(percent + 1));
+    local = local.substr(0, percent);
+  }
+  for (std::string_view relay : parts) {
+    address.path.emplace_back(relay);
+  }
+  // Remaining local part may itself be a bang path (gateways produce these).
+  std::string_view rest = ConsumeBangs(local, address);
+  address.user = std::string(rest);
+}
+
+}  // namespace
+
+Address ParseAddress(std::string_view text, ParseStyle style) {
+  Address address;
+  if (style == ParseStyle::kRfc822First) {
+    // Rightmost @ binds first: everything after it is the first relay.
+    size_t at = text.rfind('@');
+    if (at != std::string_view::npos) {
+      address.saw_at = true;
+      address.path.emplace_back(text.substr(at + 1));
+      ConsumePercents(text.substr(0, at), address);
+      return address;
+    }
+    std::string_view rest = ConsumeBangs(text, address);
+    ConsumePercents(rest, address);
+    return address;
+  }
+  // UUCP first: leftmost !s bind first, then any @ in the remainder, then %s.
+  std::string_view rest = ConsumeBangs(text, address);
+  size_t at = rest.rfind('@');
+  if (at != std::string_view::npos) {
+    address.saw_at = true;
+    address.path.emplace_back(rest.substr(at + 1));
+    ConsumePercents(rest.substr(0, at), address);
+    return address;
+  }
+  ConsumePercents(rest, address);
+  return address;
+}
+
+std::string ToBangPath(const Address& address) {
+  std::string out;
+  for (const std::string& relay : address.path) {
+    out += relay;
+    out += '!';
+  }
+  out += address.user;
+  return out;
+}
+
+std::string ToPercentForm(const Address& address) {
+  if (address.path.empty()) {
+    return address.user;
+  }
+  std::string out = address.user;
+  for (size_t i = address.path.size(); i-- > 1;) {
+    out += '%';
+    out += address.path[i];
+  }
+  out += '@';
+  out += address.path[0];
+  return out;
+}
+
+}  // namespace pathalias

@@ -1,0 +1,101 @@
+#include "src/route_db/resolver.h"
+
+#include <unordered_set>
+
+#include "src/core/route_printer.h"
+
+namespace pathalias {
+namespace {
+
+bool HasRepeatedHost(const std::vector<std::string>& path) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& host : path) {
+    if (!seen.insert(host).second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Joins path[first..] and the user into a relative bang path.
+std::string TailArgument(const std::vector<std::string>& path, size_t first,
+                         const std::string& user) {
+  std::string out;
+  for (size_t i = first; i < path.size(); ++i) {
+    out += path[i];
+    out += '!';
+  }
+  out += user;
+  return out;
+}
+
+}  // namespace
+
+const Route* Resolver::Lookup(std::string_view host, std::string* matched_key) const {
+  if (const Route* route = routes_->Find(host)) {
+    *matched_key = std::string(host);
+    return route;
+  }
+  // Successive domain suffixes: caip.rutgers.edu → .rutgers.edu → .edu.
+  size_t dot = host.find('.');
+  while (dot != std::string_view::npos) {
+    std::string_view suffix = host.substr(dot);  // includes the leading '.'
+    if (const Route* route = routes_->Find(suffix)) {
+      *matched_key = std::string(suffix);
+      return route;
+    }
+    dot = host.find('.', dot + 1);
+  }
+  return nullptr;
+}
+
+Resolution Resolver::Resolve(std::string_view destination) const {
+  Resolution resolution;
+  Address address = ParseAddress(destination, options_.parse_style);
+  if (address.user.empty() && address.path.empty()) {
+    resolution.error = "empty address";
+    return resolution;
+  }
+  if (address.path.empty()) {
+    // Local delivery: nothing to route.
+    resolution.ok = true;
+    resolution.route = address.user;
+    resolution.via = "<local>";
+    resolution.argument = address.user;
+    return resolution;
+  }
+
+  size_t target_index = 0;
+  if (options_.optimize == ResolveOptions::Optimize::kRightmostKnown &&
+      !(options_.preserve_loops && HasRepeatedHost(address.path))) {
+    std::string key;
+    for (size_t i = address.path.size(); i-- > 0;) {
+      if (Lookup(address.path[i], &key) != nullptr) {
+        target_index = i;
+        break;
+      }
+    }
+  }
+
+  const std::string& target = address.path[target_index];
+  std::string argument = TailArgument(address.path, target_index + 1, address.user);
+
+  std::string matched;
+  const Route* route = Lookup(target, &matched);
+  if (route == nullptr) {
+    resolution.error = "no route to " + target;
+    return resolution;
+  }
+  if (matched != target) {
+    // Domain-suffix match: "The argument here is not pleasant (as it were), it is
+    // caip.rutgers.edu!pleasant."
+    argument = target + "!" + argument;
+  }
+  resolution.ok = true;
+  resolution.via = matched;
+  resolution.argument = argument;
+  resolution.route = RoutePrinter::SpliceUser(route->route, argument);
+  return resolution;
+}
+
+}  // namespace pathalias

@@ -1,0 +1,68 @@
+// Mailer-side route resolution (paper §Output "Domains" and §Integrating pathalias
+// with mailers).
+//
+// Given a destination address and a pathalias route database, produce the concrete
+// address to hand to the transport.  Implements, verbatim from the paper:
+//   * the domain lookup order — "a search for caip.rutgers.edu; if found, the mailer
+//     uses argument pleasant ... Otherwise, a search for .rutgers.edu, followed by a
+//     search for .edu", where the argument handed to a domain route is the route
+//     relative to its gateway (caip.rutgers.edu!pleasant);
+//   * the optimization policy question — "should the mailer simply find a route to the
+//     first site in the string, or should it search for the right-most host known to
+//     its database?" — as a selectable strategy;
+//   * the loop-test caveat — "an overly-enthusiastic optimizer can eliminate them
+//     altogether": paths that visit a host twice are never shortened.
+
+#ifndef SRC_ROUTE_DB_RESOLVER_H_
+#define SRC_ROUTE_DB_RESOLVER_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/route_db/address.h"
+#include "src/route_db/route_db.h"
+
+namespace pathalias {
+
+struct ResolveOptions {
+  ParseStyle parse_style = ParseStyle::kUucpFirst;
+
+  enum class Optimize {
+    kNone,            // hand the whole remainder to the first relay, verbatim
+    kFirstHop,        // route to the first relay; remainder becomes the argument
+    kRightmostKnown,  // route to the rightmost relay the database knows
+  };
+  Optimize optimize = Optimize::kFirstHop;
+
+  // Never optimize a path that names some host twice (UUCP loop tests).
+  bool preserve_loops = true;
+};
+
+struct Resolution {
+  bool ok = false;
+  std::string route;     // final address, %s already substituted
+  std::string via;       // database key that matched (host or domain)
+  std::string argument;  // what was substituted for %s
+  std::string error;     // set iff !ok
+};
+
+class Resolver {
+ public:
+  Resolver(const RouteSet* routes, ResolveOptions options)
+      : routes_(routes), options_(options) {}
+
+  Resolution Resolve(std::string_view destination) const;
+
+  // The paper's lookup: exact host name, then successive domain suffixes, longest
+  // first.  On a suffix match the caller must prepend the full host name to the
+  // argument.  `matched_key` receives the database key that hit.
+  const Route* Lookup(std::string_view host, std::string* matched_key) const;
+
+ private:
+  const RouteSet* routes_;
+  ResolveOptions options_;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_ROUTE_DB_RESOLVER_H_

@@ -1,0 +1,173 @@
+#include "src/route_db/route_db.h"
+
+#include <charconv>
+
+#include "src/support/cdb.h"
+
+namespace pathalias {
+namespace {
+
+std::optional<Cost> ParseCost(std::string_view text) {
+  Cost value = 0;
+  auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    return std::nullopt;
+  }
+  return value;
+}
+
+std::vector<std::string_view> SplitTabs(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  while (start <= line.size()) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+}  // namespace
+
+void RouteSet::Add(std::string_view name, std::string_view route, Cost cost) {
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) {
+    routes_[it->second].route = std::string(route);
+    routes_[it->second].cost = cost;
+    return;
+  }
+  index_.emplace(std::string(name), routes_.size());
+  routes_.push_back(Route{std::string(name), std::string(route), cost});
+}
+
+RouteSet RouteSet::FromEntries(const std::vector<RouteEntry>& entries) {
+  RouteSet set;
+  for (const RouteEntry& entry : entries) {
+    set.Add(entry.name, entry.route, entry.cost);
+  }
+  return set;
+}
+
+RouteSet RouteSet::FromText(std::string_view text, Diagnostics* diag) {
+  RouteSet set;
+  int line_number = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) {
+      end = text.size();
+    }
+    std::string_view line = text.substr(start, end - start);
+    start = end + 1;
+    ++line_number;
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::vector<std::string_view> fields = SplitTabs(line);
+    if (fields.size() == 2) {
+      set.Add(fields[0], fields[1]);
+    } else if (fields.size() == 3) {
+      std::optional<Cost> cost = ParseCost(fields[0]);
+      if (!cost) {
+        if (diag != nullptr) {
+          diag->Warn(SourcePos{"<routes>", line_number}, "malformed cost column; line skipped");
+        }
+        continue;
+      }
+      set.Add(fields[1], fields[2], *cost);
+    } else if (diag != nullptr) {
+      diag->Warn(SourcePos{"<routes>", line_number}, "malformed route line skipped");
+    }
+  }
+  return set;
+}
+
+std::string RouteSet::ToText(bool include_costs) const {
+  std::string out;
+  for (const Route& route : routes_) {
+    if (include_costs) {
+      out += std::to_string(route.cost);
+      out += '\t';
+    }
+    out += route.name;
+    out += '\t';
+    out += route.route;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RouteSet::ToCdbBuffer() const {
+  CdbWriter writer;
+  for (const Route& route : routes_) {
+    std::string value;
+    if (route.cost >= 0) {
+      value = std::to_string(route.cost) + "\t" + route.route;
+    } else {
+      value = route.route;
+    }
+    writer.Put(route.name, value);
+  }
+  return writer.WriteBuffer();
+}
+
+std::optional<RouteSet> RouteSet::FromCdbBuffer(std::string buffer) {
+  std::optional<CdbReader> reader = CdbReader::FromBuffer(std::move(buffer));
+  if (!reader) {
+    return std::nullopt;
+  }
+  RouteSet set;
+  reader->ForEach([&set](std::string_view key, std::string_view value) {
+    size_t tab = value.find('\t');
+    if (tab != std::string_view::npos) {
+      std::optional<Cost> cost = ParseCost(value.substr(0, tab));
+      if (cost) {
+        set.Add(key, value.substr(tab + 1), *cost);
+        return;
+      }
+    }
+    set.Add(key, value);
+  });
+  return set;
+}
+
+bool RouteSet::WriteCdbFile(const std::string& path) const {
+  CdbWriter writer;
+  for (const Route& route : routes_) {
+    std::string value =
+        route.cost >= 0 ? std::to_string(route.cost) + "\t" + route.route : route.route;
+    writer.Put(route.name, value);
+  }
+  return writer.WriteFile(path);
+}
+
+std::optional<RouteSet> RouteSet::OpenCdbFile(const std::string& path) {
+  std::optional<CdbReader> reader = CdbReader::Open(path);
+  if (!reader) {
+    return std::nullopt;
+  }
+  RouteSet set;
+  reader->ForEach([&set](std::string_view key, std::string_view value) {
+    size_t tab = value.find('\t');
+    if (tab != std::string_view::npos) {
+      std::optional<Cost> cost = ParseCost(value.substr(0, tab));
+      if (cost) {
+        set.Add(key, value.substr(tab + 1), *cost);
+        return;
+      }
+    }
+    set.Add(key, value);
+  });
+  return set;
+}
+
+const Route* RouteSet::Find(std::string_view name) const {
+  auto it = index_.find(std::string(name));
+  return it == index_.end() ? nullptr : &routes_[it->second];
+}
+
+}  // namespace pathalias

@@ -1,0 +1,66 @@
+// The route database a mail system consumes (paper §Output, §Integrating pathalias
+// with mailers).
+//
+// pathalias emits "a simple linear file, in the UNIX tradition"; this module parses
+// that file back into an indexed set, serializes it, and converts it to/from the cdb
+// image for "rapid database retrieval".  The RouteSet is the boundary between the
+// route *generator* (src/core) and the route *consumers* (Resolver, the routedb tool,
+// mailers).
+
+#ifndef SRC_ROUTE_DB_ROUTE_DB_H_
+#define SRC_ROUTE_DB_ROUTE_DB_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/route_printer.h"
+#include "src/graph/cost.h"
+#include "src/support/diag.h"
+
+namespace pathalias {
+
+struct Route {
+  std::string name;
+  std::string route;  // printf format string with one %s
+  Cost cost = -1;     // -1: unknown (the file had no cost column)
+};
+
+class RouteSet {
+ public:
+  RouteSet() = default;
+
+  // Later adds of the same name replace earlier ones.
+  void Add(std::string_view name, std::string_view route, Cost cost = -1);
+
+  static RouteSet FromEntries(const std::vector<RouteEntry>& entries);
+
+  // Parses pathalias output.  Accepts both layouts: "name<TAB>route" and
+  // "cost<TAB>name<TAB>route" (a leading integer column switches to the latter).
+  static RouteSet FromText(std::string_view text, Diagnostics* diag = nullptr);
+
+  std::string ToText(bool include_costs) const;
+
+  // cdb image: key = host name; value = route, or "cost\troute" when cost is known.
+  std::string ToCdbBuffer() const;
+  static std::optional<RouteSet> FromCdbBuffer(std::string buffer);
+  bool WriteCdbFile(const std::string& path) const;
+  static std::optional<RouteSet> OpenCdbFile(const std::string& path);
+
+  // Exact-name lookup; nullptr if absent.
+  const Route* Find(std::string_view name) const;
+
+  const std::vector<Route>& routes() const { return routes_; }
+  size_t size() const { return routes_.size(); }
+  bool empty() const { return routes_.empty(); }
+
+ private:
+  std::vector<Route> routes_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_ROUTE_DB_ROUTE_DB_H_

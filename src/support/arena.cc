@@ -1,0 +1,109 @@
+#include "src/support/arena.h"
+
+#include <cstring>
+
+namespace pathalias {
+namespace {
+
+constexpr size_t AlignUp(size_t value, size_t align) { return (value + align - 1) & ~(align - 1); }
+
+char* AlignPtr(char* p, size_t align) {
+  auto v = reinterpret_cast<uintptr_t>(p);
+  v = (v + align - 1) & ~static_cast<uintptr_t>(align - 1);
+  return reinterpret_cast<char*>(v);
+}
+
+// A partially filled buffer worth keeping when a large request arrives.
+constexpr size_t kKeepBufferMin = 1024;
+
+}  // namespace
+
+Arena::Arena(size_t block_size) : block_size_(block_size < 1024 ? 1024 : block_size) {}
+
+Arena::~Arena() {
+  Block* block = blocks_;
+  while (block != nullptr) {
+    Block* next = block->next;
+    ::operator delete(static_cast<void*>(block));
+    block = next;
+  }
+}
+
+Arena::Region Arena::ObtainRegion(size_t size) {
+  // Prefer a donated region that fits (discarded hash tables; paper §Hash table
+  // management).  Linear scan is fine: donations number in the tens.
+  for (size_t i = 0; i < donated_.size(); ++i) {
+    if (static_cast<size_t>(donated_[i].end - donated_[i].begin) >= size) {
+      Region region = donated_[i];
+      donated_.erase(donated_.begin() + static_cast<ptrdiff_t>(i));
+      ++stats_.donations_reused;
+      return region;
+    }
+  }
+  size_t usable = block_size_;
+  if (size > usable) {
+    usable = size;  // oversize request gets a dedicated block
+    ++stats_.oversize_count;
+  }
+  void* raw = ::operator new(sizeof(Block) + usable);
+  auto* block = static_cast<Block*>(raw);
+  block->next = blocks_;
+  block->size = usable;
+  blocks_ = block;
+  ++stats_.block_count;
+  stats_.bytes_reserved += sizeof(Block) + usable;
+  char* begin = reinterpret_cast<char*>(block) + sizeof(Block);
+  return Region{begin, begin + usable};
+}
+
+void* Arena::Allocate(size_t size, size_t align) {
+  if (size == 0) {
+    size = 1;
+  }
+  stats_.bytes_requested += size;
+  ++stats_.allocation_count;
+  if (trace_ != nullptr) {
+    trace_->push_back(static_cast<uint32_t>(size));
+  }
+  char* aligned = AlignPtr(cursor_, align);
+  if (aligned == nullptr || aligned + size > limit_) {
+    // Worst case a fresh region loses (align - 1) bytes to alignment.
+    size_t needed = AlignUp(size, align) + align;
+    if (size >= block_size_ / 4 &&
+        cursor_ != nullptr && static_cast<size_t>(limit_ - cursor_) >= kKeepBufferMin) {
+      // Large request while the current buffer still has useful room: serve it from a
+      // dedicated region and keep carving small objects from the current buffer ("no
+      // attempt to re-use freed space" does not mean throwing live buffers away).
+      Region region = ObtainRegion(needed);
+      char* p = AlignPtr(region.begin, align);
+      char* tail = p + size;
+      if (static_cast<size_t>(region.end - tail) >= 64) {
+        donated_.push_back(Region{tail, region.end});
+      }
+      return p;
+    }
+    Region region = ObtainRegion(needed);
+    cursor_ = region.begin;
+    limit_ = region.end;
+    aligned = AlignPtr(cursor_, align);
+  }
+  cursor_ = aligned + size;
+  return aligned;
+}
+
+char* Arena::InternString(std::string_view text) {
+  char* storage = static_cast<char*>(Allocate(text.size() + 1, 1));
+  std::memcpy(storage, text.data(), text.size());
+  storage[text.size()] = '\0';
+  return storage;
+}
+
+void Arena::Donate(void* region, size_t size) {
+  ++stats_.donations;
+  if (region == nullptr || size < 64) {
+    return;  // too small to be worth tracking
+  }
+  donated_.push_back(Region{static_cast<char*>(region), static_cast<char*>(region) + size});
+}
+
+}  // namespace pathalias

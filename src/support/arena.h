@@ -1,0 +1,113 @@
+// The paper's memory allocator (§Memory allocation woes).
+//
+// pathalias's allocation pattern is extreme: essentially everything (nodes, links,
+// interned names, hash tables) is allocated while parsing and nothing is freed until the
+// program exits.  The paper found that "a buffered sbrk scheme for allocation, with no
+// attempt to re-use freed space, gives superior performance in both time and space" and
+// that coalescing allocators "simply waste time (and space)".  For portability to
+// segmented architectures the original obtained its buffers from malloc instead of sbrk;
+// we obtain them from ::operator new, which preserves the same structure.
+//
+// The one deliberate exception to "never reuse": discarded hash tables (4–32 KiB each)
+// are donated back to the arena and satisfy later block requests (paper: "they are
+// placed on a list and made available to our memory allocator for later use").
+//
+// Objects allocated here must be trivially destructible; the arena releases raw storage
+// only.  RAII lives at this boundary: destroying the Arena releases everything at once.
+
+#ifndef SRC_SUPPORT_ARENA_H_
+#define SRC_SUPPORT_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pathalias {
+
+class Arena {
+ public:
+  // The original used a 64 KiB buffer: small segments were the portability constraint.
+  static constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(size_t block_size = kDefaultBlockSize);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Returns `size` bytes aligned to `align` (power of two).  Never fails softly: throws
+  // std::bad_alloc on OS exhaustion, like the allocators it wraps.
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t));
+
+  // Placement-constructs a T in arena storage.  T must be trivially destructible
+  // because ~Arena frees storage without running destructors.
+  template <typename T, typename... Args>
+  T* New(Args&&... args) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is released without running destructors");
+    void* storage = Allocate(sizeof(T), alignof(T));
+    return ::new (storage) T(std::forward<Args>(args)...);
+  }
+
+  // Uninitialized array of T.
+  template <typename T>
+  T* NewArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is released without running destructors");
+    return static_cast<T*>(Allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  // NUL-terminated copy of `text` in arena storage (host names live here).
+  char* InternString(std::string_view text);
+
+  // Makes `size` bytes at `region` (previously handed out by this arena, e.g. a
+  // discarded hash table) available to satisfy future requests.  The arena still owns
+  // the underlying block; donation only recycles the span.
+  void Donate(void* region, size_t size);
+
+  struct Stats {
+    size_t bytes_requested = 0;   // sum of Allocate() sizes
+    size_t bytes_reserved = 0;    // total block storage obtained from the OS
+    size_t block_count = 0;       // OS blocks, including oversize ones
+    size_t oversize_count = 0;    // requests larger than the block size
+    size_t donations = 0;         // Donate() calls
+    size_t donations_reused = 0;  // donated regions that served later requests
+    size_t allocation_count = 0;  // Allocate() calls
+  };
+  const Stats& stats() const { return stats_; }
+
+  // When set, every Allocate() size is appended to *trace — used by the allocator
+  // benchmark (E5) to replay pathalias's real allocation pattern through baselines.
+  void set_trace(std::vector<uint32_t>* trace) { trace_ = trace; }
+
+ private:
+  struct Block {
+    Block* next;
+    size_t size;  // usable bytes following the header
+  };
+
+  struct Region {
+    char* begin;
+    char* end;
+  };
+
+  // Produces a region of at least `size` bytes, from the donation list if possible,
+  // otherwise from a fresh OS block.
+  Region ObtainRegion(size_t size);
+
+  size_t block_size_;
+  char* cursor_ = nullptr;
+  char* limit_ = nullptr;
+  Block* blocks_ = nullptr;
+  std::vector<Region> donated_;
+  Stats stats_;
+  std::vector<uint32_t>* trace_ = nullptr;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_ARENA_H_

@@ -1,0 +1,141 @@
+// Implicit binary heap (paper §Calculating shortest paths).
+//
+// The priority queue behind the sparse Dijkstra variant.  Two properties are specific
+// to pathalias:
+//   * decrease-key: when a cheaper candidate path to a queued vertex is found, its cost
+//     drops and the heap property is restored by sifting up from the vertex's current
+//     position — so each element carries its heap index via an IndexHook (the original
+//     stores it in the node structure).
+//   * adopted storage: the heap is built inside the retired hash table's slot array
+//     ("we use that space instead of allocating a new array").  An owned-storage mode
+//     exists for standalone use.
+//
+// Slot 0 is unused; index 0 therefore doubles as the "not in heap" sentinel, which is
+// exactly how the mapper distinguishes unmapped from queued vertices.
+
+#ifndef SRC_SUPPORT_BINARY_HEAP_H_
+#define SRC_SUPPORT_BINARY_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pathalias {
+
+// IndexHook contract:
+//   static void SetIndex(T element, int32_t index);
+//   static int32_t GetIndex(T element);
+template <typename T, typename Less, typename IndexHook>
+class BinaryHeap {
+ public:
+  // Owned storage.
+  explicit BinaryHeap(Less less = Less()) : less_(less), owned_(1), slots_(owned_.data()) {
+    capacity_ = owned_.size();
+  }
+
+  // Adopted storage: `storage` provides room for `capacity` elements (must be >= the
+  // maximum live size + 1, for the unused slot 0).
+  BinaryHeap(T* storage, size_t capacity, Less less = Less())
+      : less_(less), slots_(storage), capacity_(capacity) {
+    assert(capacity >= 2);
+  }
+
+  BinaryHeap(const BinaryHeap&) = delete;
+  BinaryHeap& operator=(const BinaryHeap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Push(T element) {
+    assert(IndexHook::GetIndex(element) == 0);
+    if (size_ + 1 >= capacity_) {
+      Grow();
+    }
+    ++size_;
+    slots_[size_] = element;
+    IndexHook::SetIndex(element, static_cast<int32_t>(size_));
+    SiftUp(size_);
+  }
+
+  T PopMin() {
+    assert(size_ > 0);
+    T minimum = slots_[1];
+    IndexHook::SetIndex(minimum, 0);
+    T last = slots_[size_];
+    --size_;
+    if (size_ > 0) {
+      slots_[1] = last;
+      IndexHook::SetIndex(last, 1);
+      SiftDown(1);
+    }
+    return minimum;
+  }
+
+  // Restores the heap property after `element`'s key decreased in place.
+  void DecreaseKey(T element) {
+    int32_t index = IndexHook::GetIndex(element);
+    assert(index > 0 && static_cast<size_t>(index) <= size_);
+    assert(slots_[index] == element);
+    SiftUp(static_cast<size_t>(index));
+  }
+
+  bool Contains(T element) const {
+    int32_t index = IndexHook::GetIndex(element);
+    return index > 0 && static_cast<size_t>(index) <= size_ && slots_[index] == element;
+  }
+
+ private:
+  void Grow() {
+    assert(!owned_.empty() && "adopted-storage heap exceeded its capacity");
+    owned_.resize(owned_.size() * 2 + 8);
+    slots_ = owned_.data();
+    capacity_ = owned_.size();
+  }
+
+  void SiftUp(size_t index) {
+    T element = slots_[index];
+    while (index > 1) {
+      size_t parent = index / 2;
+      if (!less_(element, slots_[parent])) {
+        break;
+      }
+      slots_[index] = slots_[parent];
+      IndexHook::SetIndex(slots_[index], static_cast<int32_t>(index));
+      index = parent;
+    }
+    slots_[index] = element;
+    IndexHook::SetIndex(element, static_cast<int32_t>(index));
+  }
+
+  void SiftDown(size_t index) {
+    T element = slots_[index];
+    for (;;) {
+      size_t child = index * 2;
+      if (child > size_) {
+        break;
+      }
+      if (child + 1 <= size_ && less_(slots_[child + 1], slots_[child])) {
+        ++child;
+      }
+      if (!less_(slots_[child], element)) {
+        break;
+      }
+      slots_[index] = slots_[child];
+      IndexHook::SetIndex(slots_[index], static_cast<int32_t>(index));
+      index = child;
+    }
+    slots_[index] = element;
+    IndexHook::SetIndex(element, static_cast<int32_t>(index));
+  }
+
+  Less less_;
+  std::vector<T> owned_;  // empty when storage is adopted
+  T* slots_ = nullptr;
+  size_t capacity_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_BINARY_HEAP_H_

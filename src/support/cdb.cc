@@ -1,0 +1,165 @@
+#include "src/support/cdb.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/support/hash_table.h"
+#include "src/support/primes.h"
+
+namespace pathalias {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'c', 'd', 'b', '1', '\0', '\0'};
+constexpr uint64_t kHeaderSize = 32;
+
+void AppendU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PatchU64(std::string& out, uint64_t offset, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[offset + static_cast<uint64_t>(i)] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+}  // namespace
+
+void CdbWriter::Put(std::string_view key, std::string_view value) {
+  auto it = index_.find(std::string(key));
+  if (it != index_.end()) {
+    records_[it->second].value = std::string(value);
+    return;
+  }
+  index_.emplace(std::string(key), records_.size());
+  records_.push_back(Record{std::string(key), std::string(value)});
+}
+
+std::string CdbWriter::WriteBuffer() const {
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  uint64_t slot_count = NextPrime(records_.size() * 2 + 5);
+  AppendU64(out, slot_count);
+  AppendU64(out, records_.size());
+  AppendU64(out, 0);  // slots_offset patched below
+
+  std::vector<uint64_t> offsets;
+  offsets.reserve(records_.size());
+  for (const Record& record : records_) {
+    offsets.push_back(out.size());
+    AppendU32(out, static_cast<uint32_t>(record.key.size()));
+    AppendU32(out, static_cast<uint32_t>(record.value.size()));
+    out += record.key;
+    out += record.value;
+  }
+
+  uint64_t slots_offset = out.size();
+  PatchU64(out, 24, slots_offset);
+  std::vector<std::pair<uint64_t, uint64_t>> slots(slot_count, {0, 0});
+  PaperSecondaryHash secondary;
+  for (size_t i = 0; i < records_.size(); ++i) {
+    uint64_t k = HashHostName(records_[i].key);
+    uint64_t index = k % slot_count;
+    uint64_t stride = secondary(k, slot_count);
+    while (slots[index].second != 0) {
+      index += stride;
+      if (index >= slot_count) {
+        index -= slot_count;
+      }
+    }
+    slots[index] = {k, offsets[i]};
+  }
+  for (const auto& [hash, offset] : slots) {
+    AppendU64(out, hash);
+    AppendU64(out, offset);
+  }
+  return out;
+}
+
+bool CdbWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return false;
+  }
+  std::string buffer = WriteBuffer();
+  out.write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  return static_cast<bool>(out);
+}
+
+uint32_t CdbReader::ReadU32(uint64_t offset) const {
+  uint32_t v = 0;
+  std::memcpy(&v, buffer_.data() + offset, sizeof(v));
+  return v;
+}
+
+uint64_t CdbReader::ReadU64(uint64_t offset) const {
+  uint64_t v = 0;
+  std::memcpy(&v, buffer_.data() + offset, sizeof(v));
+  return v;
+}
+
+bool CdbReader::Validate() {
+  if (buffer_.size() < kHeaderSize || std::memcmp(buffer_.data(), kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  slot_count_ = ReadU64(8);
+  record_count_ = ReadU64(16);
+  slots_offset_ = ReadU64(24);
+  if (slot_count_ < 5 || slots_offset_ < kHeaderSize ||
+      slots_offset_ + slot_count_ * 16 != buffer_.size()) {
+    return false;
+  }
+  return true;
+}
+
+std::optional<CdbReader> CdbReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::string buffer((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return FromBuffer(std::move(buffer));
+}
+
+std::optional<CdbReader> CdbReader::FromBuffer(std::string buffer) {
+  CdbReader reader(std::move(buffer));
+  if (!reader.Validate()) {
+    return std::nullopt;
+  }
+  return reader;
+}
+
+std::optional<std::string_view> CdbReader::Get(std::string_view key) const {
+  uint64_t k = HashHostName(key);
+  uint64_t index = k % slot_count_;
+  uint64_t stride = PaperSecondaryHash{}(k, slot_count_);
+  for (uint64_t probes = 0; probes < slot_count_; ++probes) {
+    uint64_t hash = ReadU64(slots_offset_ + index * 16);
+    uint64_t offset = ReadU64(slots_offset_ + index * 16 + 8);
+    if (offset == 0) {
+      return std::nullopt;
+    }
+    if (hash == k) {
+      uint32_t key_len = ReadU32(offset);
+      uint32_t value_len = ReadU32(offset + 4);
+      std::string_view stored_key(buffer_.data() + offset + 8, key_len);
+      if (stored_key == key) {
+        return std::string_view(buffer_.data() + offset + 8 + key_len, value_len);
+      }
+    }
+    index += stride;
+    if (index >= slot_count_) {
+      index -= slot_count_;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace pathalias

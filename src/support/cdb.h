@@ -1,0 +1,99 @@
+// On-disk constant database for route retrieval.
+//
+// The paper (§Output): "output from pathalias is a simple linear file ... If desired, a
+// separate program may be used to convert this file into a format appropriate for rapid
+// database retrieval."  This is that format: an immutable key→value store with O(1)
+// lookups, in the spirit of the dbm files 1986 sites used (and of djb's later cdb).
+//
+// Layout (all integers little-endian uint64):
+//   [0]  magic "PAcdb1\0\0"
+//   [8]  slot_count   (prime)
+//   [16] record_count
+//   [24] slots_offset (byte offset of the slot array)
+//   [32] records: repeated { u32 key_len, u32 value_len, key bytes, value bytes }
+//   [slots_offset] slots: repeated { u64 hash, u64 record_offset }   offset 0 == empty
+//
+// Probing reuses the pathalias hash (shifts/XORs, double hashing with the paper's
+// secondary function) so the on-disk table has the same ~2-probes-at-0.79 behavior the
+// in-memory table is tuned for; we build it at load factor 0.5 for headroom.
+
+#ifndef SRC_SUPPORT_CDB_H_
+#define SRC_SUPPORT_CDB_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace pathalias {
+
+class CdbWriter {
+ public:
+  CdbWriter() = default;
+
+  // Adds or replaces a key.  Later calls win, matching "rebuild the DB from a fresh
+  // pathalias run" semantics.
+  void Put(std::string_view key, std::string_view value);
+
+  size_t size() const { return records_.size(); }
+
+  // Serializes the database; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+  // Serializes to an in-memory buffer (tests, and CdbReader::FromBuffer).
+  std::string WriteBuffer() const;
+
+ private:
+  struct Record {
+    std::string key;
+    std::string value;
+  };
+
+  std::vector<Record> records_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+class CdbReader {
+ public:
+  // Loads the whole file; returns std::nullopt on I/O error or corrupt image.
+  static std::optional<CdbReader> Open(const std::string& path);
+  static std::optional<CdbReader> FromBuffer(std::string buffer);
+
+  // O(1) expected: hash, probe, compare.
+  std::optional<std::string_view> Get(std::string_view key) const;
+
+  uint64_t record_count() const { return record_count_; }
+  uint64_t slot_count() const { return slot_count_; }
+
+  // Calls fn(key, value) for every record in insertion order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    uint64_t offset = 32;
+    for (uint64_t i = 0; i < record_count_; ++i) {
+      uint32_t key_len = ReadU32(offset);
+      uint32_t value_len = ReadU32(offset + 4);
+      std::string_view key(buffer_.data() + offset + 8, key_len);
+      std::string_view value(buffer_.data() + offset + 8 + key_len, value_len);
+      fn(key, value);
+      offset += 8 + key_len + value_len;
+    }
+  }
+
+ private:
+  explicit CdbReader(std::string buffer) : buffer_(std::move(buffer)) {}
+
+  bool Validate();
+  uint32_t ReadU32(uint64_t offset) const;
+  uint64_t ReadU64(uint64_t offset) const;
+
+  std::string buffer_;
+  uint64_t slot_count_ = 0;
+  uint64_t record_count_ = 0;
+  uint64_t slots_offset_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_CDB_H_

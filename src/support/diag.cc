@@ -1,0 +1,69 @@
+#include "src/support/diag.h"
+
+#include <sstream>
+
+namespace pathalias {
+
+std::string_view ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string ToString(const Diagnostic& diagnostic) {
+  std::ostringstream out;
+  if (!diagnostic.pos.file.empty()) {
+    out << diagnostic.pos.file << ":";
+    if (diagnostic.pos.line > 0) {
+      out << diagnostic.pos.line << ":";
+    }
+    out << " ";
+  }
+  out << ToString(diagnostic.severity) << ": " << diagnostic.message;
+  return out.str();
+}
+
+void Diagnostics::Report(Severity severity, SourcePos pos, std::string message) {
+  Diagnostic diagnostic{severity, std::move(pos), std::move(message)};
+  if (severity == Severity::kError) {
+    ++error_count_;
+  } else if (severity == Severity::kWarning) {
+    ++warning_count_;
+  }
+  if (sink_) {
+    sink_(diagnostic);
+  }
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+bool Diagnostics::Mentions(std::string_view needle) const {
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    if (diagnostic.message.find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Diagnostics::ToString() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics_) {
+    out += pathalias::ToString(diagnostic);
+    out += '\n';
+  }
+  return out;
+}
+
+void Diagnostics::Clear() {
+  diagnostics_.clear();
+  error_count_ = 0;
+  warning_count_ = 0;
+}
+
+}  // namespace pathalias

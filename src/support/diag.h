@@ -1,0 +1,90 @@
+// Diagnostics sink used by every phase (parsing, mapping, printing).
+//
+// pathalias's input is a merge of thousands of independently maintained site files; the
+// paper stresses that the data are "often contradictory and error-filled".  Errors must
+// therefore be *collected and attributed* (file:line), never thrown: a bad declaration
+// skips one line, not the whole 28,000-link map.
+
+#ifndef SRC_SUPPORT_DIAG_H_
+#define SRC_SUPPORT_DIAG_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pathalias {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+// Returns "note" / "warning" / "error".
+std::string_view ToString(Severity severity);
+
+// A position in one of the input map files.  `line` is 1-based; 0 means "no line
+// information" (e.g. a problem detected during mapping rather than parsing).
+struct SourcePos {
+  std::string file;
+  int line = 0;
+
+  bool operator==(const SourcePos&) const = default;
+};
+
+struct Diagnostic {
+  Severity severity = Severity::kNote;
+  SourcePos pos;
+  std::string message;
+};
+
+// Renders "file:line: severity: message" (omitting empty components).
+std::string ToString(const Diagnostic& diagnostic);
+
+// Accumulates diagnostics.  Optionally forwards each one to a sink as it arrives (the
+// CLI uses this to stream to stderr); library callers usually inspect the vector.
+class Diagnostics {
+ public:
+  using Sink = std::function<void(const Diagnostic&)>;
+
+  Diagnostics() = default;
+
+  // Streams every future diagnostic to `sink` in addition to recording it.
+  void set_sink(Sink sink) { sink_ = std::move(sink); }
+
+  void Report(Severity severity, SourcePos pos, std::string message);
+
+  void Note(SourcePos pos, std::string message) {
+    Report(Severity::kNote, std::move(pos), std::move(message));
+  }
+  void Warn(SourcePos pos, std::string message) {
+    Report(Severity::kWarning, std::move(pos), std::move(message));
+  }
+  void Error(SourcePos pos, std::string message) {
+    Report(Severity::kError, std::move(pos), std::move(message));
+  }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  int error_count() const { return error_count_; }
+  int warning_count() const { return warning_count_; }
+  bool ok() const { return error_count_ == 0; }
+
+  // True if any recorded diagnostic's message contains `needle` (test convenience).
+  bool Mentions(std::string_view needle) const;
+
+  // All diagnostics, one rendered line each.
+  std::string ToString() const;
+
+  void Clear();
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  Sink sink_;
+  int error_count_ = 0;
+  int warning_count_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_DIAG_H_

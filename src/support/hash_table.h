@@ -1,0 +1,237 @@
+// Host-name hash table (paper §Hash table management).
+//
+// Open addressing with double hashing.  The integer key k comes from bit-level shifts
+// and exclusive-ors over the name.  The primary hash is k mod T (T prime); for the
+// secondary the paper rejects the textbook 1+(k mod T-2) — which showed "anomalous
+// behavior (that we cannot explain)" — in favor of its inverse T-2-(k mod T-2).  Both
+// are provided here as policies so experiment E6 can compare them.
+//
+// The table cannot know the host count in advance, so it rehashes: when the load factor
+// exceeds αH = 0.79 (chosen for a predicted 2 probes per access at full load) a larger
+// prime table is allocated and entries reinserted.  Growth policies (experiment E7):
+//   * FibonacciGrowth  — the paper's final scheme, sizes follow a Fibonacci sequence of
+//     primes, i.e. growth ≈ the golden ratio.
+//   * ArithmeticGrowth — the earlier αL = 0.49 low-water scheme over an arithmetic
+//     candidate list (equivalent δ = αH/αL ≈ 1.61).
+//   * GeometricGrowth  — δ = 2 (the Aho–Hopcroft–Ullman suggestion the paper rejects as
+//     wasting space).
+//
+// Discarded tables are donated back to the arena; the final table's slot array can be
+// stolen outright to hold the shortest-path heap (paper: "since the hash table is no
+// longer needed and is guaranteed to be large enough, we use that space instead").
+
+#ifndef SRC_SUPPORT_HASH_TABLE_H_
+#define SRC_SUPPORT_HASH_TABLE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "src/support/arena.h"
+#include "src/support/primes.h"
+
+namespace pathalias {
+
+// "we calculate an integer key k using bit-level shifts and exclusive-ors"
+inline uint64_t HashHostName(std::string_view name) {
+  uint64_t k = 0x5061746841ull;  // arbitrary nonzero seed ("PathA")
+  for (unsigned char c : name) {
+    k ^= c;
+    k ^= k << 13;
+    k ^= k >> 7;
+    k ^= k << 17;
+  }
+  return k;
+}
+
+// The paper's secondary hash: T-2-(k mod T-2), range [1, T-2].
+struct PaperSecondaryHash {
+  uint64_t operator()(uint64_t k, uint64_t t) const { return t - 2 - (k % (t - 2)); }
+};
+
+// Knuth's oft-suggested secondary hash: 1+(k mod T-2), range [1, T-2].
+struct KnuthSecondaryHash {
+  uint64_t operator()(uint64_t k, uint64_t t) const { return 1 + (k % (t - 2)); }
+};
+
+struct FibonacciGrowth {
+  uint64_t Next(uint64_t capacity, uint64_t /*size*/) { return sequence.NextSize(capacity); }
+  FibonacciPrimes sequence;
+};
+
+struct GeometricGrowth {
+  uint64_t Next(uint64_t capacity, uint64_t /*size*/) { return NextPrime(capacity * 2 + 1); }
+};
+
+struct ArithmeticGrowth {
+  static constexpr double kLowWater = 0.49;
+  // Candidate sizes are primes just above multiples of `step`; pick the smallest
+  // candidate whose load would sit below the low-water mark.
+  uint64_t Next(uint64_t capacity, uint64_t size) {
+    uint64_t needed = static_cast<uint64_t>(static_cast<double>(size) / kLowWater) + 1;
+    if (needed <= capacity) {
+      needed = capacity + 1;
+    }
+    uint64_t candidate = ((needed + step - 1) / step) * step;
+    uint64_t prime = NextPrime(candidate + 1);
+    return prime > capacity ? prime : NextPrime(capacity + 2);
+  }
+  uint64_t step = 512;
+};
+
+// Maps interned, NUL-terminated names to values of type V (pathalias stores Node*).
+// There is no erase: pathalias never removes a host once declared (private-name scoping
+// is layered above via shadow chains, see Graph).
+template <typename V, typename Secondary = PaperSecondaryHash, typename Growth = FibonacciGrowth>
+class HashTable {
+ public:
+  static constexpr double kHighWater = 0.79;
+
+  struct Slot {
+    const char* key;  // interned; nullptr == empty
+    V value;
+  };
+
+  struct ProbeStats {
+    uint64_t accesses = 0;       // Find/Insert calls
+    uint64_t probes = 0;         // slot inspections on behalf of accesses
+    uint64_t rehashes = 0;       // table growths
+    uint64_t rehash_moves = 0;   // entries reinserted during growth
+    uint64_t rehash_probes = 0;  // slot inspections during growth
+  };
+
+  explicit HashTable(Arena* arena, uint64_t initial_capacity = 0)
+      : arena_(arena), capacity_(0), size_(0) {
+    if (initial_capacity > 0) {
+      Rehash(NextPrime(initial_capacity < 5 ? 5 : initial_capacity));
+      stats_.rehashes = 0;  // initial sizing is not a growth event
+    }
+  }
+
+  HashTable(const HashTable&) = delete;
+  HashTable& operator=(const HashTable&) = delete;
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+  double load_factor() const {
+    return capacity_ == 0 ? 0.0 : static_cast<double>(size_) / static_cast<double>(capacity_);
+  }
+  const ProbeStats& probe_stats() const { return stats_; }
+  void ResetProbeStats() { stats_ = ProbeStats{}; }
+  bool stolen() const { return stolen_; }
+
+  // Returns the value for `key`, or nullptr if absent.
+  V* Find(std::string_view key) {
+    assert(!stolen_);
+    ++stats_.accesses;
+    if (capacity_ == 0) {
+      return nullptr;
+    }
+    uint64_t index = ProbeFor(key, /*counting=*/true);
+    return slots_[index].key != nullptr ? &slots_[index].value : nullptr;
+  }
+
+  // Inserts an interned key.  Returns false (and leaves the table unchanged) if the key
+  // is already present.  `key` must outlive the table — intern it in the arena first.
+  bool Insert(const char* key, V value) {
+    assert(!stolen_);
+    ++stats_.accesses;
+    if (capacity_ == 0 ||
+        static_cast<double>(size_ + 1) > kHighWater * static_cast<double>(capacity_)) {
+      Rehash(growth_.Next(capacity_ < 5 ? 5 : capacity_, size_ + 1));
+    }
+    uint64_t index = ProbeFor(key, /*counting=*/true);
+    if (slots_[index].key != nullptr) {
+      return false;
+    }
+    slots_[index].key = key;
+    slots_[index].value = value;
+    ++size_;
+    return true;
+  }
+
+  // Calls fn(key, value) for every occupied slot, in table order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    assert(!stolen_);
+    for (uint64_t i = 0; i < capacity_; ++i) {
+      if (slots_[i].key != nullptr) {
+        fn(slots_[i].key, slots_[i].value);
+      }
+    }
+  }
+
+  // Relinquishes the slot array (the paper builds the shortest-path heap in it).  The
+  // table becomes unusable; storage remains owned by the arena.
+  std::pair<void*, size_t> StealSlots() {
+    assert(!stolen_);
+    stolen_ = true;
+    void* storage = slots_;
+    size_t bytes = static_cast<size_t>(capacity_) * sizeof(Slot);
+    slots_ = nullptr;
+    capacity_ = 0;
+    size_ = 0;
+    return {storage, bytes};
+  }
+
+ private:
+  // Index of the slot holding `key`, or of the empty slot where it belongs.
+  uint64_t ProbeFor(std::string_view key, bool counting) {
+    uint64_t k = HashHostName(key);
+    uint64_t index = k % capacity_;
+    uint64_t stride = secondary_(k, capacity_);
+    for (;;) {
+      if (counting) {
+        ++stats_.probes;
+      } else {
+        ++stats_.rehash_probes;
+      }
+      const char* occupant = slots_[index].key;
+      if (occupant == nullptr || key == std::string_view(occupant)) {
+        return index;
+      }
+      index += stride;
+      if (index >= capacity_) {
+        index -= capacity_;
+      }
+    }
+  }
+
+  void Rehash(uint64_t new_capacity) {
+    assert(new_capacity > size_ && new_capacity >= 5);
+    Slot* old_slots = slots_;
+    uint64_t old_capacity = capacity_;
+    slots_ = arena_->NewArray<Slot>(new_capacity);
+    std::memset(static_cast<void*>(slots_), 0, new_capacity * sizeof(Slot));
+    capacity_ = new_capacity;
+    ++stats_.rehashes;
+    for (uint64_t i = 0; i < old_capacity; ++i) {
+      if (old_slots[i].key == nullptr) {
+        continue;
+      }
+      uint64_t index = ProbeFor(old_slots[i].key, /*counting=*/false);
+      slots_[index] = old_slots[i];
+      ++stats_.rehash_moves;
+    }
+    if (old_slots != nullptr) {
+      // "Rather than freeing the old tables ... they are placed on a list and made
+      // available to our memory allocator for later use."
+      arena_->Donate(old_slots, old_capacity * sizeof(Slot));
+    }
+  }
+
+  Arena* arena_;
+  Slot* slots_ = nullptr;
+  uint64_t capacity_;
+  uint64_t size_;
+  bool stolen_ = false;
+  Secondary secondary_;
+  Growth growth_;
+  mutable ProbeStats stats_;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_HASH_TABLE_H_

@@ -1,0 +1,43 @@
+// Prime machinery backing the hash table's growth policies (paper §Hash table
+// management).
+//
+// The paper's final design sizes the host table with "a Fibonacci sequence of primes
+// (more or less)": each size is the smallest prime no smaller than the sum of the two
+// previous sizes, so successive sizes grow by roughly the golden ratio — the same δ the
+// authors had earlier obtained from the αH/αL low/high-water scheme.
+
+#ifndef SRC_SUPPORT_PRIMES_H_
+#define SRC_SUPPORT_PRIMES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace pathalias {
+
+// Deterministic Miller–Rabin, exact for all 64-bit inputs.
+bool IsPrime(uint64_t n);
+
+// Smallest prime >= n.  n == 0 or 1 yields 2.
+uint64_t NextPrime(uint64_t n);
+
+// The paper's "Fibonacci sequence of primes (more or less)": p0 = 3, p1 = 5,
+// p(i) = NextPrime(p(i-1) + p(i-2)).  Grows by ~the golden ratio.
+class FibonacciPrimes {
+ public:
+  FibonacciPrimes() = default;
+
+  // Next size in the sequence strictly greater than `current` (so rehashing always
+  // grows, even if `current` is not itself a member of the sequence).
+  uint64_t NextSize(uint64_t current);
+
+  // The first `count` members of the sequence.
+  static std::vector<uint64_t> Sequence(int count);
+
+ private:
+  uint64_t prev_ = 0;
+  uint64_t cur_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_PRIMES_H_

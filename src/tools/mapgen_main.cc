@@ -1,0 +1,49 @@
+// mapgen: emit a synthetic 1986-scale UUCP/USENET map (DESIGN.md §3).
+//
+// Usage: mapgen [--small] [--seed N] [--dir DIR]
+//   --small   the scaled-down test configuration instead of full 1986 scale
+//   --seed N  RNG seed (default 1986)
+//   --dir D   write one site file per input file into D; default prints to stdout
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "src/mapgen/mapgen.h"
+
+int main(int argc, char** argv) {
+  pathalias::MapGenConfig config = pathalias::MapGenConfig::Usenet1986();
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--small") {
+      uint64_t seed = config.seed;
+      config = pathalias::MapGenConfig::Small();
+      config.seed = seed;
+    } else if (arg == "--seed" && i + 1 < argc) {
+      config.seed = std::stoull(argv[++i]);
+    } else if (arg == "--dir" && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::cerr << "usage: mapgen [--small] [--seed N] [--dir DIR]\n";
+      return 2;
+    }
+  }
+  pathalias::GeneratedMap map = pathalias::GenerateUsenetMap(config);
+  if (dir.empty()) {
+    for (const auto& file : map.files) {
+      std::cout << "# ---- " << file.name << " ----\n" << file.content;
+    }
+  } else {
+    std::filesystem::create_directories(dir);
+    for (const auto& file : map.files) {
+      std::ofstream out(std::filesystem::path(dir) / file.name, std::ios::trunc);
+      out << file.content;
+    }
+  }
+  std::cerr << "mapgen: " << map.host_count << " hosts, " << map.link_declarations
+            << " link declarations, " << map.net_count << " nets, " << map.domain_count
+            << " domains; suggested local host: " << map.local << "\n";
+  return 0;
+}

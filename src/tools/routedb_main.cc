@@ -1,0 +1,92 @@
+// routedb: convert pathalias output into a constant database and query it.
+//
+// The paper (§Output): "a separate program may be used to convert this file into a
+// format appropriate for rapid database retrieval."  This is that program, plus the
+// query side a delivery agent would call.
+//
+// Usage:
+//   routedb build <routes.txt> <routes.cdb>     build the database
+//   routedb get   <routes.cdb> <host>           print the raw route for a host
+//   routedb resolve <routes.cdb> <address>...   resolve full addresses (domain-suffix
+//                                               lookup, rightmost-known rewriting)
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/route_db/resolver.h"
+#include "src/route_db/route_db.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: routedb build <routes.txt> <routes.cdb>\n"
+               "       routedb get <routes.cdb> <host>\n"
+               "       routedb resolve <routes.cdb> <address>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return Usage();
+  }
+  std::string command = argv[1];
+  if (command == "build") {
+    if (argc != 4) {
+      return Usage();
+    }
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::cerr << "routedb: cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    pathalias::Diagnostics diag;
+    pathalias::RouteSet routes = pathalias::RouteSet::FromText(buffer.str(), &diag);
+    if (!routes.WriteCdbFile(argv[3])) {
+      std::cerr << "routedb: cannot write " << argv[3] << "\n";
+      return 1;
+    }
+    std::cerr << "routedb: " << routes.size() << " routes written\n";
+    return 0;
+  }
+  if (command == "get" || command == "resolve") {
+    if (argc < 4) {
+      return Usage();
+    }
+    auto routes = pathalias::RouteSet::OpenCdbFile(argv[2]);
+    if (!routes) {
+      std::cerr << "routedb: cannot read " << argv[2] << "\n";
+      return 1;
+    }
+    if (command == "get") {
+      const pathalias::Route* route = routes->Find(argv[3]);
+      if (route == nullptr) {
+        std::cerr << "routedb: no route to " << argv[3] << "\n";
+        return 1;
+      }
+      std::cout << route->route << "\n";
+      return 0;
+    }
+    pathalias::ResolveOptions options;
+    options.optimize = pathalias::ResolveOptions::Optimize::kRightmostKnown;
+    pathalias::Resolver resolver(&*routes, options);
+    int failures = 0;
+    for (int i = 3; i < argc; ++i) {
+      pathalias::Resolution resolution = resolver.Resolve(argv[i]);
+      if (resolution.ok) {
+        std::cout << argv[i] << "\t" << resolution.route << "\t(via " << resolution.via
+                  << ")\n";
+      } else {
+        std::cout << argv[i] << "\t*error* " << resolution.error << "\n";
+        ++failures;
+      }
+    }
+    return failures == 0 ? 0 : 1;
+  }
+  return Usage();
+}

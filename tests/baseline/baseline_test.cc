@@ -1,0 +1,245 @@
+// Baseline correctness: the rejected designs must be *correct* (only slower / bigger),
+// or the paper's comparisons would be straw men.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/baseline/alloc_baselines.h"
+#include "src/baseline/clique_expand.h"
+#include "src/baseline/dense_dijkstra.h"
+#include "src/baseline/slow_scanner.h"
+#include "src/core/pathalias.h"
+#include "src/mapgen/mapgen.h"
+
+namespace pathalias {
+namespace {
+
+// --- dense Dijkstra vs the heap variant -------------------------------------------
+
+class DenseEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DenseEquivalenceTest, CostsMatchHeapMapperOnRandomMaps) {
+  MapGenConfig config = MapGenConfig::Small();
+  config.seed = GetParam();
+  config.leaf_hosts = 120;
+  config.regional_hosts = 30;
+  GeneratedMap map = GenerateUsenetMap(config);
+
+  Diagnostics diag;
+  Graph graph(&diag);
+  Parser parser(&graph);
+  parser.ParseFiles(map.files);
+  graph.SetLocal(map.local);
+
+  MapOptions options;
+  options.back_links = false;  // compare the core mapping loop only
+  options.reuse_hash_table_storage = false;
+
+  // Dense first (it reads node state but never writes it), then the heap mapper.
+  DenseDijkstraResult dense = DenseDijkstra(&graph, options);
+  Mapper mapper(&graph, options);
+  Mapper::Result heap = mapper.Run();
+
+  size_t compared = 0;
+  for (const Node* node : graph.nodes()) {
+    const PathLabel& label = dense.labels[static_cast<size_t>(node->order)];
+    if (node->cost == kUnreached) {
+      EXPECT_EQ(label.cost, kUnreached) << node->name;
+      continue;
+    }
+    EXPECT_EQ(label.cost, node->cost) << node->name;
+    ++compared;
+  }
+  EXPECT_EQ(dense.mapped, heap.mapped_labels);
+  EXPECT_GT(compared, 100u);
+  // The v² term: dense scans ≈ mapped² vs the heap's e·log v work.
+  EXPECT_GT(dense.scans, dense.mapped * dense.mapped / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseEquivalenceTest, ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(DenseDijkstra, HandlesMissingLocal) {
+  Diagnostics diag;
+  Graph graph(&diag);
+  DenseDijkstraResult result = DenseDijkstra(&graph, MapOptions{});
+  EXPECT_EQ(result.mapped, 0u);
+}
+
+// --- clique representations ---------------------------------------------------------
+
+class CliqueEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliqueEquivalenceTest, NetAndExplicitRepresentationsAgreeOnCosts) {
+  CliqueSpec spec;
+  spec.members = GetParam();
+
+  Diagnostics diag_net;
+  Graph net_graph(&diag_net);
+  BuildCliqueAsNet(net_graph, spec);
+  Mapper net_mapper(&net_graph, MapOptions{});
+  net_mapper.Run();
+
+  Diagnostics diag_explicit;
+  Graph explicit_graph(&diag_explicit);
+  BuildCliqueExplicit(explicit_graph, spec);
+  Mapper explicit_mapper(&explicit_graph, MapOptions{});
+  explicit_mapper.Run();
+
+  for (const std::string& name : CliqueMemberNames(spec.members)) {
+    Node* a = net_graph.Find(name);
+    Node* b = explicit_graph.Find(name);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->cost, b->cost) << name;
+  }
+  // The space argument: 2n + 1 edges vs n(n-1) + 1.
+  size_t n = static_cast<size_t>(spec.members);
+  EXPECT_EQ(net_graph.link_count(), 2 * n + 1);
+  EXPECT_EQ(explicit_graph.link_count(), n * (n - 1) + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CliqueEquivalenceTest, ::testing::Values(2, 3, 8, 24, 64));
+
+// --- the lex-like scanner -----------------------------------------------------------
+
+TEST(SlowScanner, TokenStreamMatchesLexerOnPaperExample) {
+  constexpr std::string_view kInput =
+      "unc\tduke(HOURLY), phs(HOURLY*4)\n"
+      "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n"
+      "# comment\nprivate {bilbo}\n";
+  Lexer fast(kInput);
+  SlowScanner slow(kInput);
+  for (int i = 0; i < 1000; ++i) {
+    Token a = fast.Next();
+    Token b = slow.Next();
+    ASSERT_EQ(a.kind, b.kind) << "token " << i;
+    ASSERT_EQ(a.text, b.text) << "token " << i;
+    ASSERT_EQ(a.line, b.line) << "token " << i;
+    ASSERT_EQ(a.op, b.op) << "token " << i;
+    if (a.kind == TokenKind::kLParen) {
+      ASSERT_EQ(fast.CaptureParenBody(), slow.CaptureParenBody());
+    }
+    if (a.kind == TokenKind::kEnd) {
+      break;
+    }
+  }
+}
+
+TEST(SlowScanner, TokenStreamMatchesLexerOnGeneratedMap) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  std::string input = map.Joined();
+  Lexer fast(input);
+  SlowScanner slow(input);
+  for (;;) {
+    Token a = fast.Next();
+    Token b = slow.Next();
+    ASSERT_EQ(a.kind, b.kind);
+    ASSERT_EQ(a.text, b.text);
+    if (a.kind == TokenKind::kLParen) {
+      ASSERT_EQ(fast.CaptureParenBody(), slow.CaptureParenBody());
+    }
+    if (a.kind == TokenKind::kEnd) {
+      break;
+    }
+  }
+  EXPECT_GT(slow.chars_dispatched(), input.size() / 2);
+}
+
+TEST(SlowScanner, ParsingThroughItGivesIdenticalGraphs) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  std::string input = map.Joined();
+
+  Diagnostics diag_fast;
+  Graph fast_graph(&diag_fast);
+  Parser fast_parser(&fast_graph);
+  Lexer lexer(input);
+  fast_parser.ParseFile("joined.map", lexer);
+
+  Diagnostics diag_slow;
+  Graph slow_graph(&diag_slow);
+  Parser slow_parser(&slow_graph);
+  SlowScanner scanner(input);
+  slow_parser.ParseFile("joined.map", scanner);
+
+  EXPECT_EQ(fast_graph.node_count(), slow_graph.node_count());
+  EXPECT_EQ(fast_graph.link_count(), slow_graph.link_count());
+  EXPECT_EQ(diag_fast.error_count(), diag_slow.error_count());
+}
+
+// --- allocator baselines ------------------------------------------------------------
+
+TEST(Allocators, ReplayProducesUsableMemory) {
+  std::vector<uint32_t> sizes{16, 64, 24, 128, 8, 4096, 40, 40, 40};
+  MallocEachAllocator malloc_each;
+  FreeListAllocator free_list;
+  ArenaAllocatorAdapter arena;
+  EXPECT_NE(ReplayParseTrace(malloc_each, sizes, /*free_at_end=*/true), 0u);
+  EXPECT_NE(ReplayParseTrace(free_list, sizes, /*free_at_end=*/true), 0u);
+  EXPECT_NE(ReplayParseTrace(arena, sizes, /*free_at_end=*/false), 0u);
+  EXPECT_GT(malloc_each.bytes_reserved(), 0u);
+  EXPECT_GT(free_list.bytes_reserved(), 0u);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+}
+
+TEST(Allocators, FreeListCoalescesAdjacentBlocks) {
+  FreeListAllocator allocator(64 * 1024);
+  std::vector<void*> pointers;
+  for (int i = 0; i < 100; ++i) {
+    pointers.push_back(allocator.Alloc(100));
+  }
+  for (void* p : pointers) {
+    allocator.Free(p);
+  }
+  // After freeing everything, coalescing should collapse the list to ~one node per
+  // OS block (100 * ~112B fits in one 64 KiB block).
+  EXPECT_LE(allocator.free_list_length(), 2u);
+}
+
+TEST(Allocators, FreeListReusesFreedSpace) {
+  FreeListAllocator allocator(64 * 1024);
+  void* a = allocator.Alloc(512);
+  size_t reserved_before = allocator.bytes_reserved();
+  allocator.Free(a);
+  void* b = allocator.Alloc(256);
+  EXPECT_EQ(allocator.bytes_reserved(), reserved_before) << "no new OS block needed";
+  ASSERT_NE(b, nullptr);
+}
+
+TEST(Allocators, FreeListSurvivesInterleavedChurn) {
+  FreeListAllocator allocator(16 * 1024);
+  std::vector<std::pair<void*, uint32_t>> live;
+  uint64_t seed = 99;
+  for (int step = 0; step < 3000; ++step) {
+    seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+    if ((seed >> 33) % 3 != 0 || live.empty()) {
+      uint32_t size = 8 + static_cast<uint32_t>((seed >> 20) % 240);
+      void* p = allocator.Alloc(size);
+      std::memset(p, 0x5A, size);
+      live.emplace_back(p, size);
+    } else {
+      size_t index = (seed >> 17) % live.size();
+      // Verify the fill pattern survived neighboring operations.
+      auto [p, size] = live[index];
+      for (uint32_t i = 0; i < size; ++i) {
+        ASSERT_EQ(static_cast<unsigned char*>(p)[i], 0x5A);
+      }
+      allocator.Free(p);
+      live.erase(live.begin() + static_cast<ptrdiff_t>(index));
+    }
+  }
+}
+
+TEST(Allocators, RecordParseTraceCapturesRealWork) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  std::vector<uint32_t> trace = RecordParseTrace(map.Joined());
+  EXPECT_GT(trace.size(), 1000u) << "nodes, links, names";
+  uint64_t total = 0;
+  for (uint32_t size : trace) {
+    total += size;
+  }
+  EXPECT_GT(total, 50000u);
+}
+
+}  // namespace
+}  // namespace pathalias

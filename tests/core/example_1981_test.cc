@@ -1,0 +1,68 @@
+// Experiment E2: the paper's worked example (§Output) must reproduce byte-for-byte.
+//
+// Input is "a simplified portion of the map from 1981"; the expected output is printed
+// verbatim in the paper, including the cost column, the routing of everything through
+// duke despite unc's direct phs link, and the mixed-syntax ARPANET routes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/pathalias.h"
+
+namespace pathalias {
+namespace {
+
+constexpr std::string_view kPaperInput = R"(unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+)";
+
+constexpr std::string_view kPaperOutput =
+    "0\tunc\t%s\n"
+    "500\tduke\tduke!%s\n"
+    "800\tphs\tduke!phs!%s\n"
+    "3000\tresearch\tduke!research!%s\n"
+    "3300\tucbvax\tduke!research!ucbvax!%s\n"
+    "3395\tmit-ai\tduke!research!ucbvax!%s@mit-ai\n"
+    "3395\tstanford\tduke!research!ucbvax!%s@stanford\n";
+
+TEST(Example1981, ReproducesPaperOutputExactly) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "unc";
+  options.print.include_costs = true;
+  RunResult result = RunString(kPaperInput, options, &diag);
+  EXPECT_EQ(diag.error_count(), 0) << diag.ToString();
+  EXPECT_EQ(result.output, kPaperOutput);
+}
+
+TEST(Example1981, RoutesThroughDukeDespiteDirectPhsLink) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "unc";
+  RunResult result = RunString(kPaperInput, options, &diag);
+  bool saw_phs = false;
+  for (const RouteEntry& entry : result.routes) {
+    if (entry.name == "phs") {
+      saw_phs = true;
+      EXPECT_EQ(entry.route, "duke!phs!%s");
+      EXPECT_EQ(entry.cost, 800);
+    }
+  }
+  EXPECT_TRUE(saw_phs);
+}
+
+TEST(Example1981, NetworkNodeIsNotPrinted) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "unc";
+  RunResult result = RunString(kPaperInput, options, &diag);
+  for (const RouteEntry& entry : result.routes) {
+    EXPECT_NE(entry.name, "ARPA");
+  }
+}
+
+}  // namespace
+}  // namespace pathalias

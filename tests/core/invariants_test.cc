@@ -1,0 +1,151 @@
+// Mapping invariants checked over randomized whole maps.  These are the properties
+// Dijkstra's correctness argument rests on, restated against pathalias's heuristic
+// cost function and both label modes:
+//   * tree shape — every mapped label's parent chain reaches the root through mapped
+//     labels, with hop counts consistent along the way;
+//   * monotonicity — cost never decreases from parent to child (negative adjustments
+//     are clamped, penalties only add);
+//   * relaxation closure — no single edge can improve any finished label: for every
+//     link u→v, cost(v) <= CostOf(best-label(u), link).
+
+#include <gtest/gtest.h>
+
+#include "src/core/pathalias.h"
+#include "src/mapgen/mapgen.h"
+
+namespace pathalias {
+namespace {
+
+struct Mapped {
+  Diagnostics diag;
+  std::unique_ptr<Graph> graph;
+  Mapper::Result result;
+};
+
+std::unique_ptr<Mapped> MapSmall(uint64_t seed, bool two_label) {
+  MapGenConfig config = MapGenConfig::Small();
+  config.seed = seed;
+  GeneratedMap map = GenerateUsenetMap(config);
+  auto mapped = std::make_unique<Mapped>();
+  mapped->graph = std::make_unique<Graph>(&mapped->diag);
+  Parser parser(mapped->graph.get());
+  parser.ParseFiles(map.files);
+  mapped->graph->SetLocal(map.local);
+  MapOptions options;
+  options.two_label = two_label;
+  Mapper mapper(mapped->graph.get(), options);
+  mapped->result = mapper.Run();
+  return mapped;
+}
+
+class MappingInvariantsTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, bool>> {};
+
+TEST_P(MappingInvariantsTest, TreeShapeAndHopCounts) {
+  auto [seed, two_label] = GetParam();
+  auto mapped = MapSmall(seed, two_label);
+  size_t roots = 0;
+  for (const PathLabel* label : mapped->result.labels) {
+    if (!label->mapped) {
+      continue;
+    }
+    if (label->parent == nullptr) {
+      ++roots;
+      EXPECT_EQ(label->cost, 0);
+      EXPECT_EQ(label->hops, 0);
+      continue;
+    }
+    ASSERT_TRUE(label->parent->mapped) << label->node->name;
+    ASSERT_NE(label->via, nullptr);
+    EXPECT_EQ(label->via->to, label->node);
+    int expected_hops = label->parent->hops + (label->via->alias() ? 0 : 1);
+    EXPECT_EQ(label->hops, expected_hops) << label->node->name;
+    // Walk to the root; must terminate (no cycles) within the label count.
+    size_t steps = 0;
+    for (const PathLabel* cursor = label; cursor->parent != nullptr;
+         cursor = cursor->parent) {
+      ASSERT_LT(++steps, mapped->result.labels.size() + 1) << "parent cycle";
+    }
+  }
+  EXPECT_EQ(roots, 1u);
+}
+
+TEST_P(MappingInvariantsTest, CostsNeverDecreaseAlongTheTree) {
+  auto [seed, two_label] = GetParam();
+  auto mapped = MapSmall(seed, two_label);
+  for (const PathLabel* label : mapped->result.labels) {
+    if (!label->mapped || label->parent == nullptr) {
+      continue;
+    }
+    EXPECT_GE(label->cost, label->parent->cost) << label->node->name;
+  }
+}
+
+TEST_P(MappingInvariantsTest, NoEdgeImprovesAnyFinishedLabel) {
+  auto [seed, two_label] = GetParam();
+  auto mapped = MapSmall(seed, two_label);
+  MapOptions options;
+  options.two_label = two_label;
+  Mapper pricer(mapped->graph.get(), options);
+  size_t checked = 0;
+  for (const Node* node : mapped->graph->nodes()) {
+    if (node->deleted() || node->cost == kUnreached) {
+      continue;
+    }
+    for (uint8_t slot = 0; slot < 2; ++slot) {
+      const PathLabel* from = node->label[slot];
+      if (from == nullptr || !from->mapped) {
+        continue;
+      }
+      for (const Link* link = node->links; link != nullptr; link = link->next) {
+        const Node* to = link->to;
+        if (to->deleted()) {
+          continue;
+        }
+        Cost through = pricer.CostOf(*from, *link);
+        ASSERT_NE(to->cost, kUnreached)
+            << to->name << " unreached despite an edge from mapped " << node->name;
+        EXPECT_LE(to->cost, through)
+            << node->name << " -> " << to->name << " would improve the tree";
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 1000u);
+}
+
+TEST_P(MappingInvariantsTest, BestLabelIsTheCheapest) {
+  auto [seed, two_label] = GetParam();
+  auto mapped = MapSmall(seed, two_label);
+  for (const Node* node : mapped->graph->nodes()) {
+    const PathLabel* best = nullptr;
+    for (uint8_t slot = 0; slot < 2; ++slot) {
+      if (node->label[slot] != nullptr && node->label[slot]->best) {
+        ASSERT_EQ(best, nullptr) << "two best labels on " << node->name;
+        best = node->label[slot];
+      }
+    }
+    if (best == nullptr) {
+      continue;
+    }
+    EXPECT_EQ(best->cost, node->cost);
+    for (uint8_t slot = 0; slot < 2; ++slot) {
+      const PathLabel* other = node->label[slot];
+      if (other != nullptr && other != best && other->mapped) {
+        EXPECT_GE(other->cost, best->cost) << node->name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndModes, MappingInvariantsTest,
+    ::testing::Combine(::testing::Values(101, 202, 303, 404),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_twolabel" : "_single");
+    });
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,225 @@
+#include "src/core/route_printer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pathalias.h"
+
+namespace pathalias {
+namespace {
+
+struct Printed {
+  RunResult result;
+  Diagnostics diag;
+
+  const RouteEntry* Find(std::string_view name) const {
+    for (const RouteEntry& entry : result.routes) {
+      if (entry.name == name) {
+        return &entry;
+      }
+    }
+    return nullptr;
+  }
+  bool Has(std::string_view name) const { return Find(name) != nullptr; }
+};
+
+Printed RunPrint(std::string_view map_text, std::string local, PrintOptions print = {}) {
+  Printed printed;
+  RunOptions options;
+  options.local = std::move(local);
+  options.print = print;
+  printed.result = RunString(map_text, options, &printed.diag);
+  return printed;
+}
+
+TEST(RoutePrinter, RootIsLocalHostWithBareMarker) {
+  Printed p = RunPrint("a\tb(10)\n", "a");
+  ASSERT_FALSE(p.result.routes.empty());
+  EXPECT_EQ(p.result.routes[0].name, "a");
+  EXPECT_EQ(p.result.routes[0].route, "%s");
+  EXPECT_EQ(p.result.routes[0].cost, 0);
+}
+
+TEST(RoutePrinter, DomainChainAppendsNamesPaperExample) {
+  // The paper's seismo figure: split domain names .edu / .rutgers, appended on the way
+  // down, yielding seismo!caip.rutgers.edu!%s.
+  Printed p = RunPrint(
+      "local\tseismo(100)\n"
+      "seismo\t.edu(95)\n"
+      ".edu\t.rutgers(0)\n"
+      ".rutgers\tcaip(0)\n",
+      "local");
+  const RouteEntry* caip = p.Find("caip.rutgers.edu");
+  ASSERT_NE(caip, nullptr);
+  EXPECT_EQ(caip->route, "seismo!caip.rutgers.edu!%s");
+}
+
+TEST(RoutePrinter, FullyQualifiedDomainNamesDoNotDoubleAppend) {
+  // The same tree declared with fully qualified subdomain names.
+  Printed p = RunPrint(
+      "local\tseismo(100)\n"
+      "seismo\t.edu(95)\n"
+      ".edu\t.rutgers.edu(0)\n"
+      ".rutgers.edu\tcaip(0)\n",
+      "local");
+  const RouteEntry* caip = p.Find("caip.rutgers.edu");
+  ASSERT_NE(caip, nullptr);
+  EXPECT_EQ(caip->route, "seismo!caip.rutgers.edu!%s");
+}
+
+TEST(RoutePrinter, TopLevelDomainIsPrintedWithParentRoute) {
+  // "a top level domain ... is shown in the output.  The route is given by the route
+  // to its parent (i.e., its gateway)."
+  Printed p = RunPrint("local\tseismo(100)\nseismo\t.edu(95)\n.edu\tcaip(0)\n", "local");
+  const RouteEntry* edu = p.Find(".edu");
+  ASSERT_NE(edu, nullptr);
+  EXPECT_EQ(edu->route, "seismo!%s");
+}
+
+TEST(RoutePrinter, SubdomainsAreNotPrinted) {
+  Printed p = RunPrint(
+      "local\tseismo(100)\nseismo\t.edu(95)\n.edu\t.rutgers(0)\n.rutgers\tcaip(0)\n",
+      "local");
+  EXPECT_TRUE(p.Has(".edu"));
+  EXPECT_FALSE(p.Has(".rutgers")) << "routes to subdomains are not printed";
+  EXPECT_FALSE(p.Has(".rutgers.edu"));
+}
+
+TEST(RoutePrinter, MasqueradingSubdomainPaperExample) {
+  // ".rutgers.edu" declared as its own top-level domain with gateway caip: "This makes
+  // caip a gateway for .rutgers.edu, but not for the ARPANET as a whole."
+  Printed p = RunPrint(
+      "host\tcaip(50)\n"
+      "caip\t.rutgers.edu(95)\n"
+      ".rutgers.edu\tblue(0)\n",
+      "host");
+  EXPECT_EQ(p.Find("caip")->route, "caip!%s");
+  const RouteEntry* masq = p.Find(".rutgers.edu");
+  ASSERT_NE(masq, nullptr);
+  EXPECT_EQ(masq->route, "caip!%s");
+  const RouteEntry* blue = p.Find("blue.rutgers.edu");
+  ASSERT_NE(blue, nullptr);
+  EXPECT_EQ(blue->route, "caip!blue.rutgers.edu!%s");
+}
+
+TEST(RoutePrinter, NetworksNeverAppearInOutput) {
+  Printed p = RunPrint("a\tgw(10)\ngw\t@NET(5)\nNET = @{x, y}(95)\n", "a");
+  EXPECT_FALSE(p.Has("NET"));
+  EXPECT_TRUE(p.Has("x"));
+  EXPECT_TRUE(p.Has("y"));
+}
+
+TEST(RoutePrinter, NetMembersUseEntrySyntax) {
+  // "the routing character and direction are the ones encountered when entering the
+  // network" — enter with @, members are addressed %s@member.
+  Printed p = RunPrint("a\tgw(10)\ngw\t@NET(5)\nNET = @{x}(95)\n", "a");
+  EXPECT_EQ(p.Find("x")->route, "gw!%s@x");
+}
+
+TEST(RoutePrinter, DifferentGatewaysMayUseDifferentSyntax) {
+  // "This allows different gateways between two networks to use different syntax."
+  // Entering through lgw (bang syntax) must produce a bang-style member address.
+  Printed p = RunPrint(
+      "a\tlgw(10)\n"
+      "lgw\tNET!(5)\n"
+      "NET = @{x}(95)\n",
+      "a");
+  EXPECT_EQ(p.Find("x")->route, "lgw!x!%s");
+}
+
+TEST(RoutePrinter, SecondRightHopUsesUndergroundPercentSyntax) {
+  // Reaching a net member through a host that is itself addressed user@gateway must
+  // not emit a second '@'; the inner hop uses the user%inner@outer convention.
+  Printed p = RunPrint(
+      "a\tb(10)\n"
+      "b\t@gw(20)\n"
+      "NET = @{gw, inner}(95)\n",
+      "a");
+  EXPECT_EQ(p.Find("gw")->route, "b!%s@gw");
+  const RouteEntry* inner = p.Find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->route, "b!%s%inner@gw");
+  // And the spliced form is exactly what a 1986 gateway rewrites.
+  EXPECT_EQ(RoutePrinter::SpliceUser(inner->route, "user"), "b!user%inner@gw");
+}
+
+TEST(RoutePrinter, PrivateHostsHiddenButUsableAsRelay) {
+  Printed p = RunPrint(
+      "private {secret}\n"
+      "a\tsecret(10)\n"
+      "secret\tb(10)\n",
+      "a");
+  EXPECT_FALSE(p.Has("secret")) << "no output line for a private host";
+  const RouteEntry* b = p.Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->route, "secret!b!%s") << "but it may appear as a relay";
+}
+
+TEST(RoutePrinter, OutputOrderIsPreorderCheapestFirst) {
+  Printed p = RunPrint("a\tb(100), c(50)\nb\td(1)\nc\te(1)\n", "a");
+  std::vector<std::string> names;
+  for (const RouteEntry& entry : p.result.routes) {
+    names.push_back(entry.name);
+  }
+  // Preorder with children by cost: a, then c(50) subtree, then b(100) subtree...
+  // e hangs under c (51), d under b (101).
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "c");
+  EXPECT_EQ(names[2], "e");
+  EXPECT_EQ(names[3], "b");
+  EXPECT_EQ(names[4], "d");
+}
+
+TEST(RoutePrinter, FirstHopCostMode) {
+  PrintOptions print;
+  print.first_hop_cost = true;
+  Printed p = RunPrint("a\tb(100)\nb\tc(50)\nc\td(25)\n", "a", print);
+  EXPECT_EQ(p.Find("b")->cost, 100);
+  EXPECT_EQ(p.Find("c")->cost, 100) << "-f reports the first hop, not the total";
+  EXPECT_EQ(p.Find("d")->cost, 100);
+  EXPECT_EQ(p.Find("a")->cost, 0);
+}
+
+TEST(RoutePrinter, RenderWithAndWithoutCosts) {
+  Printed p = RunPrint("a\tb(100)\n", "a");
+  std::string plain = RoutePrinter::Render(p.result.routes, PrintOptions{});
+  EXPECT_EQ(plain, "a\t%s\nb\tb!%s\n");
+  std::string with_costs =
+      RoutePrinter::Render(p.result.routes, PrintOptions{.include_costs = true});
+  EXPECT_EQ(with_costs, "0\ta\t%s\n100\tb\tb!%s\n");
+}
+
+TEST(RoutePrinter, EveryRouteHasExactlyOneMarker) {
+  Printed p = RunPrint(
+      "a\tb(10), @c(20)\nb\td(5)\nNET = @{m1, m2}(95)\nc\t@NET(10)\n"
+      "seismo\t.edu(95)\na\tseismo(40)\n.edu\tcaip(0)\n",
+      "a");
+  ASSERT_GT(p.result.routes.size(), 5u);
+  for (const RouteEntry& entry : p.result.routes) {
+    size_t first = entry.route.find("%s");
+    ASSERT_NE(first, std::string::npos) << entry.name << ": " << entry.route;
+    EXPECT_EQ(entry.route.find("%s", first + 1), std::string::npos)
+        << entry.name << ": " << entry.route;
+  }
+}
+
+TEST(RoutePrinter, SpliceUserSubstitutes) {
+  EXPECT_EQ(RoutePrinter::SpliceUser("duke!%s", "honey"), "duke!honey");
+  EXPECT_EQ(RoutePrinter::SpliceUser("a!%s@b", "piet"), "a!piet@b");
+  EXPECT_EQ(RoutePrinter::SpliceUser("seismo!%s", "caip.rutgers.edu!pleasant"),
+            "seismo!caip.rutgers.edu!pleasant");
+}
+
+TEST(RoutePrinter, UsableAsPrintfFormat) {
+  // "Use of such a marker enables the generated path to be used directly as a format
+  // string for printf."
+  Printed p = RunPrint("a\tb(10)\nb\t@c(5)\n", "a");
+  const RouteEntry* c = p.Find("c");
+  ASSERT_NE(c, nullptr);
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer), c->route.c_str(), "user");
+  EXPECT_STREQ(buffer, "b!user@c");
+}
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,141 @@
+// Experiment E10: the paper's §Problems figure and the "second-best path" fix.
+//
+// The connection graph (edge weights chosen to land on the figure's printed costs,
+// 425+∞ on the left branch vs 500 on the right):
+//
+//              motown
+//                | 25
+//              caip
+//         0 /        \ 175
+//   .rutgers.edu     topaz
+//        400 \        / 300
+//            princeton
+//
+// Default pathalias maps caip through the domain (cost 400, cheaper) and is then
+// "committed to that route for hosts beyond it": motown's only route inherits the
+// domain-relay penalty, total 425+∞.  The two-label mapper keeps the clean second-best
+// path to caip (via topaz, 475) and routes motown over it at a clean 500 — "the right
+// branch should be preferred.  (In practice, the mailer at Rutgers rejects the left
+// branch route.)"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pathalias.h"
+
+namespace pathalias {
+namespace {
+
+constexpr std::string_view kMotownMap =
+    "princeton\t.rutgers.edu(400), topaz(300)\n"
+    ".rutgers.edu\tcaip(0)\n"
+    "topaz\tcaip(175)\n"
+    "caip\tmotown(25)\n";
+
+const RouteEntry* Find(const RunResult& result, std::string_view name) {
+  for (const RouteEntry& entry : result.routes) {
+    if (entry.name == name) {
+      return &entry;
+    }
+  }
+  return nullptr;
+}
+
+TEST(SecondBest, DefaultMapperCommitsToPenalizedRoute) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "princeton";
+  RunResult result = RunString(kMotownMap, options, &diag);
+
+  // caip itself: the domain route is cheaper and fine as a destination.
+  const RouteEntry* caip = Find(result, "caip.rutgers.edu");
+  ASSERT_NE(caip, nullptr);
+  EXPECT_EQ(caip->cost, 400);
+  EXPECT_EQ(caip->route, "caip.rutgers.edu!%s");
+
+  // motown: the tree is committed to the left branch; cost is 425 + "infinity".
+  const RouteEntry* motown = Find(result, "motown");
+  ASSERT_NE(motown, nullptr);
+  EXPECT_EQ(motown->cost, 425 + kInfinity);
+  EXPECT_EQ(result.map.penalized_routes, 1u);
+}
+
+TEST(SecondBest, TwoLabelMapperFindsTheCleanRoute) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "princeton";
+  options.map.two_label = true;
+  RunResult result = RunString(kMotownMap, options, &diag);
+
+  // caip still reports its cheapest route (through the domain)...
+  const RouteEntry* caip = Find(result, "caip.rutgers.edu");
+  ASSERT_NE(caip, nullptr);
+  EXPECT_EQ(caip->cost, 400);
+
+  // ...but motown now rides the second-best, domain-free path to caip.
+  const RouteEntry* motown = Find(result, "motown");
+  ASSERT_NE(motown, nullptr);
+  EXPECT_EQ(motown->cost, 500) << "the right branch: princeton!topaz!caip!motown";
+  EXPECT_EQ(motown->route, "topaz!caip!motown!%s");
+  EXPECT_EQ(result.map.penalized_routes, 0u);
+}
+
+TEST(SecondBest, TwoLabelKeepsBothLabelsForDomainReachedHosts) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "princeton";
+  options.map.two_label = true;
+  RunResult result = RunString(kMotownMap, options, &diag);
+  Node* caip = result.graph->Find("caip");
+  ASSERT_NE(caip, nullptr);
+  ASSERT_NE(caip->label[0], nullptr) << "clean label";
+  ASSERT_NE(caip->label[1], nullptr) << "via-domain label";
+  EXPECT_EQ(caip->label[1]->cost, 400);
+  EXPECT_EQ(caip->label[0]->cost, 475);
+  EXPECT_TRUE(caip->label[1]->best);
+  EXPECT_FALSE(caip->label[0]->best);
+}
+
+TEST(SecondBest, TwoLabelMatchesDefaultWhenNoDomainsInvolved) {
+  constexpr std::string_view kPlainMap = "a\tb(100), c(50)\nb\td(10)\nc\td(100)\n";
+  Diagnostics diag_a;
+  Diagnostics diag_b;
+  RunOptions plain;
+  plain.local = "a";
+  RunOptions two_label = plain;
+  two_label.map.two_label = true;
+  RunResult a = RunString(kPlainMap, plain, &diag_a);
+  RunResult b = RunString(kPlainMap, two_label, &diag_b);
+  ASSERT_EQ(a.routes.size(), b.routes.size());
+  for (size_t i = 0; i < a.routes.size(); ++i) {
+    EXPECT_EQ(a.routes[i].name, b.routes[i].name);
+    EXPECT_EQ(a.routes[i].route, b.routes[i].route);
+    EXPECT_EQ(a.routes[i].cost, b.routes[i].cost);
+  }
+}
+
+TEST(SecondBest, PaperExampleUnchangedUnderTwoLabel) {
+  constexpr std::string_view kPaperInput =
+      "unc\tduke(HOURLY), phs(HOURLY*4)\n"
+      "duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)\n"
+      "phs\tunc(HOURLY*4), duke(HOURLY)\n"
+      "research\tduke(DEMAND), ucbvax(DEMAND)\n"
+      "ucbvax\tresearch(DAILY)\n"
+      "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n";
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "unc";
+  options.map.two_label = true;
+  options.print.include_costs = true;
+  RunResult result = RunString(kPaperInput, options, &diag);
+  EXPECT_EQ(result.output,
+            "0\tunc\t%s\n"
+            "500\tduke\tduke!%s\n"
+            "800\tphs\tduke!phs!%s\n"
+            "3000\tresearch\tduke!research!%s\n"
+            "3300\tucbvax\tduke!research!ucbvax!%s\n"
+            "3395\tmit-ai\tduke!research!ucbvax!%s@mit-ai\n"
+            "3395\tstanford\tduke!research!ucbvax!%s@stanford\n");
+}
+
+}  // namespace
+}  // namespace pathalias

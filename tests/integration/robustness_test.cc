@@ -1,0 +1,194 @@
+// Failure injection and adversarial inputs.  The 1986 map data was "often
+// contradictory and error-filled"; the pipeline's contract is: never crash, never
+// loop, report what it skipped, and route whatever remains routable.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/core/pathalias.h"
+#include "src/support/rng.h"
+
+namespace pathalias {
+namespace {
+
+RunResult RunMap(std::string_view text, const std::string& local, Diagnostics* diag) {
+  RunOptions options;
+  options.local = local;
+  return RunString(text, options, diag);
+}
+
+TEST(Robustness, EmptyInput) {
+  Diagnostics diag;
+  RunOptions options;
+  RunResult result = RunString("", options, &diag);
+  EXPECT_TRUE(result.routes.empty());
+  EXPECT_GE(diag.error_count(), 1) << "no hosts and no local host";
+}
+
+TEST(Robustness, OnlyComments) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "ghost";
+  RunResult result = RunString("# nothing\n# here\n", options, &diag);
+  ASSERT_EQ(result.routes.size(), 1u) << "the local host itself";
+  EXPECT_EQ(result.routes[0].route, "%s");
+}
+
+TEST(Robustness, LocalHostIsTheOnlyHost) {
+  Diagnostics diag;
+  RunResult result = RunMap("solo\n", "solo", &diag);
+  ASSERT_EQ(result.routes.size(), 1u);
+  EXPECT_EQ(result.map.unreachable_hosts, 0u);
+}
+
+TEST(Robustness, EverythingDead) {
+  Diagnostics diag;
+  RunResult result = RunMap("a\tb(10)\nb\tc(10)\ndead {a, b, c, a!b, b!c}\n", "a", &diag);
+  // Everything still gets a (heavily penalized) route: penalties are finite.
+  EXPECT_EQ(result.routes.size(), 3u);
+  for (const RouteEntry& entry : result.routes) {
+    if (entry.name != "a") {
+      EXPECT_GE(entry.cost, kInfinity) << entry.name;
+    }
+  }
+}
+
+TEST(Robustness, EverythingDeleted) {
+  Diagnostics diag;
+  RunResult result = RunMap("a\tb(10)\ndelete {b}\n", "a", &diag);
+  EXPECT_EQ(result.routes.size(), 1u);
+  EXPECT_EQ(result.map.unreachable_hosts, 0u) << "deleted hosts are not 'unreachable'";
+}
+
+TEST(Robustness, DeletedLocalHost) {
+  Diagnostics diag;
+  RunResult result = RunMap("a\tb(10)\ndelete {a}\n", "a", &diag);
+  // Degenerate but must not crash; nothing is reachable from a deleted source.
+  EXPECT_LE(result.routes.size(), 1u);
+}
+
+TEST(Robustness, TwoDisconnectedIslands) {
+  Diagnostics diag;
+  RunResult result = RunMap("a\tb(10)\nb\ta(10)\nx\ty(10)\ny\tx(10)\n", "a", &diag);
+  EXPECT_EQ(result.map.unreachable_hosts, 2u);
+  EXPECT_TRUE(diag.Mentions("unreachable"));
+}
+
+TEST(Robustness, CycleOfAliases) {
+  Diagnostics diag;
+  RunResult result = RunMap("a\tb(10)\nb = c\nc = d\nd = b\n", "a", &diag);
+  // b, c, d are one machine known by three names; all share cost 10.
+  EXPECT_EQ(result.routes.size(), 4u);
+  for (const RouteEntry& entry : result.routes) {
+    if (entry.name != "a") {
+      EXPECT_EQ(entry.cost, 10) << entry.name;
+    }
+  }
+}
+
+TEST(Robustness, SelfLoopsAndDuplicatesEverywhere) {
+  Diagnostics diag;
+  RunResult result = RunMap(
+      "a\ta(5), b(10), b(10), b(20), a(1)\n"
+      "b\tb(1), a(10)\n",
+      "a", &diag);
+  EXPECT_EQ(result.routes.size(), 2u);
+  EXPECT_EQ(result.routes[1].cost, 10);
+  EXPECT_GE(diag.warning_count(), 2) << "self links warned";
+}
+
+TEST(Robustness, AbsurdlyLongChainDoesNotOverflow) {
+  std::string map;
+  for (int i = 0; i < 3000; ++i) {
+    map += "h" + std::to_string(i) + "\th" + std::to_string(i + 1) + "(WEEKLY)\n";
+  }
+  Diagnostics diag;
+  RunResult result = RunMap(map, "h0", &diag);
+  EXPECT_EQ(result.routes.size(), 3001u);
+  // 3000 hops of WEEKLY: large but nowhere near Cost overflow.
+  EXPECT_EQ(result.routes.back().cost, 3000 * 30000);
+  EXPECT_GT(result.routes.back().route.size(), 3000u);
+}
+
+TEST(Robustness, DeepDomainNestingTerminates) {
+  std::string map = "a\t.d0(10)\n";
+  for (int i = 0; i < 50; ++i) {
+    map += ".d" + std::to_string(i) + "\t.d" + std::to_string(i + 1) + "(0)\n";
+  }
+  map += ".d50\tleaf(0)\n";
+  Diagnostics diag;
+  RunResult result = RunMap(map, "a", &diag);
+  bool found = false;
+  for (const RouteEntry& entry : result.routes) {
+    if (entry.name.starts_with("leaf")) {
+      found = true;
+      EXPECT_LT(entry.cost, kInfinity);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Robustness, MalformedLinesNeverMaskGoodOnes) {
+  Diagnostics diag;
+  RunResult result = RunMap(
+      "!!!\n"
+      "a\tb(10)\n"
+      "(((\n"
+      "b\tc(10)\n"
+      "}{)(\n"
+      "= = =\n"
+      "c\td(10)\n",
+      "a", &diag);
+  EXPECT_EQ(result.routes.size(), 4u);
+  EXPECT_GE(diag.error_count(), 3);
+}
+
+// Deterministic fuzz: random byte soup must neither crash nor hang the parser, and a
+// partially corrupted real map must still yield most of its routes.
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  std::string soup;
+  constexpr std::string_view kAlphabet =
+      "abcXYZ019.-_+!@:%(){},=\t\n\\ #\x01\x7f\xfe";
+  for (int i = 0; i < 20000; ++i) {
+    soup += kAlphabet[rng.Below(kAlphabet.size())];
+  }
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "fuzzlocal";
+  RunResult result = RunString(soup, options, &diag);
+  // Whatever parsed is mapped; mostly we assert survival and bounded diagnostics.
+  EXPECT_LT(diag.diagnostics().size(), 30000u);
+  (void)result;
+}
+
+TEST_P(ParserFuzzTest, CorruptedRealMapDegradesGracefully) {
+  Rng rng(GetParam() + 1000);
+  std::string map =
+      "unc\tduke(HOURLY), phs(HOURLY*4)\n"
+      "duke\tunc(DEMAND), research(DAILY/2), phs(DEMAND)\n"
+      "phs\tunc(HOURLY*4), duke(HOURLY)\n"
+      "research\tduke(DEMAND), ucbvax(DEMAND)\n"
+      "ucbvax\tresearch(DAILY)\n"
+      "ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)\n";
+  // Flip a handful of bytes.
+  for (int i = 0; i < 5; ++i) {
+    map[rng.Below(map.size())] = static_cast<char>('!' + rng.Below(90));
+  }
+  Diagnostics diag;
+  RunOptions options;
+  options.local = "unc";
+  RunResult result = RunString(map, options, &diag);
+  // unc itself must survive; typically most of the map does too.
+  ASSERT_FALSE(result.routes.empty());
+  EXPECT_EQ(result.routes[0].route, "%s");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,134 @@
+#include "src/mapgen/mapgen.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/pathalias.h"
+
+namespace pathalias {
+namespace {
+
+TEST(MapGen, DeterministicForSameSeed) {
+  GeneratedMap a = GenerateUsenetMap(MapGenConfig::Small());
+  GeneratedMap b = GenerateUsenetMap(MapGenConfig::Small());
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (size_t i = 0; i < a.files.size(); ++i) {
+    EXPECT_EQ(a.files[i].content, b.files[i].content) << a.files[i].name;
+  }
+  EXPECT_EQ(a.local, b.local);
+}
+
+TEST(MapGen, DifferentSeedsProduceDifferentMaps) {
+  MapGenConfig config = MapGenConfig::Small();
+  config.seed = 7;
+  GeneratedMap a = GenerateUsenetMap(config);
+  config.seed = 8;
+  GeneratedMap b = GenerateUsenetMap(config);
+  EXPECT_NE(a.Joined(), b.Joined());
+}
+
+TEST(MapGen, SmallConfigHitsItsStructuralTargets) {
+  MapGenConfig config = MapGenConfig::Small();
+  GeneratedMap map = GenerateUsenetMap(config);
+  EXPECT_EQ(static_cast<int>(map.backbone.size()), config.backbone_hosts);
+  EXPECT_EQ(static_cast<int>(map.regionals.size()), config.regional_hosts);
+  EXPECT_GE(static_cast<int>(map.leaves.size()), config.leaf_hosts);
+  EXPECT_EQ(map.net_count, config.net_count);
+  EXPECT_GE(map.domain_count, config.domain_count);
+  EXPECT_EQ(static_cast<int>(map.files.size()), config.files);
+  EXPECT_EQ(map.private_declarations, 2 * config.private_pairs);
+}
+
+TEST(MapGen, PaperScaleMatchesThe1986Numbers) {
+  // "over 5,700 nodes and 20,000 links, while ARPANET, CSNET, and BITNET add another
+  // 2,800 nodes and 8,000 links" — ±20%.
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Usenet1986());
+  EXPECT_GE(map.host_count, 6800);
+  EXPECT_LE(map.host_count, 10200);
+  EXPECT_GE(map.link_declarations, 22000);
+  EXPECT_LE(map.link_declarations, 34000);
+}
+
+TEST(MapGen, GeneratedMapParsesWithoutErrors) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  Diagnostics diag;
+  Graph graph(&diag);
+  Parser parser(&graph);
+  parser.ParseFiles(map.files);
+  EXPECT_EQ(diag.error_count(), 0) << diag.ToString();
+  EXPECT_GT(graph.node_count(), static_cast<size_t>(map.host_count))
+      << "hosts plus nets/domains/aliases";
+}
+
+TEST(MapGen, GeneratedMapMapsAlmostCompletely) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  Diagnostics diag;
+  RunOptions options;
+  options.local = map.local;
+  RunResult result = pathalias::Run(map.files, options, &diag);
+  ASSERT_GT(result.map.mapped_hosts, 0u);
+  double unreachable_rate = static_cast<double>(result.map.unreachable_hosts) /
+                            static_cast<double>(result.map.mapped_hosts);
+  EXPECT_LT(unreachable_rate, 0.01) << "back links should recover one-way leaves";
+  EXPECT_GT(result.map.invented_links, 0u) << "the one-way leaves exist";
+}
+
+TEST(MapGen, PenalizedRouteFractionIsAFractionOfAPercent) {
+  // Experiment E11's precondition at small scale.
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  Diagnostics diag;
+  RunOptions options;
+  options.local = map.local;
+  RunResult result = pathalias::Run(map.files, options, &diag);
+  double fraction = static_cast<double>(result.map.syntax_penalized_routes) /
+                    static_cast<double>(result.map.mapped_hosts);
+  EXPECT_GT(result.map.syntax_penalized_routes, 0u);
+  EXPECT_LT(fraction, 0.02);
+}
+
+TEST(MapGen, PrivateCollisionsAreActuallyPrivate) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  Diagnostics diag;
+  Graph graph(&diag);
+  Parser parser(&graph);
+  parser.ParseFiles(map.files);
+  // Count private nodes: each pair declares two.
+  int private_nodes = 0;
+  for (const Node* node : graph.nodes()) {
+    if (node->is_private()) {
+      ++private_nodes;
+    }
+  }
+  EXPECT_EQ(private_nodes, 2 * MapGenConfig::Small().private_pairs);
+}
+
+TEST(MapGen, AddressTraceIsDeterministicAndPlausible) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  std::vector<std::string> a = GenerateAddressTrace(map, 500, 99);
+  std::vector<std::string> b = GenerateAddressTrace(map, 500, 99);
+  EXPECT_EQ(a, b);
+  int with_at = 0;
+  int with_bang = 0;
+  for (const std::string& address : a) {
+    if (address.find('@') != std::string::npos) {
+      ++with_at;
+    }
+    if (address.find('!') != std::string::npos) {
+      ++with_bang;
+    }
+  }
+  EXPECT_GT(with_at, 50) << "RFC822 forms present";
+  EXPECT_GT(with_bang, 200) << "bang paths dominate";
+}
+
+TEST(MapGen, JoinedConcatenatesAllFiles) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
+  std::string joined = map.Joined();
+  size_t total = 0;
+  for (const InputFile& file : map.files) {
+    total += file.content.size();
+  }
+  EXPECT_EQ(joined.size(), total);
+}
+
+}  // namespace
+}  // namespace pathalias

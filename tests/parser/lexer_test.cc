@@ -1,0 +1,148 @@
+#include "src/parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pathalias {
+namespace {
+
+std::vector<Token> Drain(std::string_view input) {
+  Lexer lexer(input);
+  std::vector<Token> tokens;
+  for (;;) {
+    Token token = lexer.Next();
+    tokens.push_back(token);
+    if (token.kind == TokenKind::kEnd) {
+      return tokens;
+    }
+  }
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  std::vector<Token> tokens = Drain("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, NamesIncludeDotsDashesUnderscoresPlus) {
+  std::vector<Token> tokens = Drain("UNC-dwarf .rutgers.edu host_1 a+b");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "UNC-dwarf");
+  EXPECT_EQ(tokens[1].text, ".rutgers.edu");
+  EXPECT_EQ(tokens[2].text, "host_1");
+  EXPECT_EQ(tokens[3].text, "a+b");
+}
+
+TEST(Lexer, PunctuationTokens) {
+  std::vector<Token> tokens = Drain(", { } ( ) =");
+  ASSERT_EQ(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kRBrace);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLParen);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kRParen);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kEquals);
+}
+
+TEST(Lexer, RoutingOperators) {
+  std::vector<Token> tokens = Drain("! @ : %");
+  ASSERT_EQ(tokens.size(), 5u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tokens[static_cast<size_t>(i)].kind, TokenKind::kOp);
+  }
+  EXPECT_EQ(tokens[0].op, '!');
+  EXPECT_EQ(tokens[1].op, '@');
+  EXPECT_EQ(tokens[2].op, ':');
+  EXPECT_EQ(tokens[3].op, '%');
+}
+
+TEST(Lexer, OperatorBindsTightlyToNames) {
+  std::vector<Token> tokens = Drain("a@b(10)");
+  ASSERT_GE(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kOp);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kName);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLParen);
+}
+
+TEST(Lexer, CommentsRunToEndOfLine) {
+  std::vector<Token> tokens = Drain("a # this is duke's file\nb");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[2].text, "b");
+}
+
+TEST(Lexer, NewlinesAreTokensAndCountLines) {
+  Lexer lexer("a\nb\nc");
+  EXPECT_EQ(lexer.Next().line, 1);  // a
+  EXPECT_EQ(lexer.Next().line, 1);  // newline
+  EXPECT_EQ(lexer.Next().line, 2);  // b
+  EXPECT_EQ(lexer.Next().line, 2);
+  EXPECT_EQ(lexer.Next().line, 3);  // c
+}
+
+TEST(Lexer, BackslashNewlineSplicesLines) {
+  std::vector<Token> tokens = Drain("a \\\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].line, 2) << "line counting continues across the splice";
+}
+
+TEST(Lexer, CarriageReturnsIgnored) {
+  std::vector<Token> tokens = Drain("a\r\nb\r\n");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNewline);
+  EXPECT_EQ(tokens[2].text, "b");
+}
+
+TEST(Lexer, BadCharacterProducesBadToken) {
+  std::vector<Token> tokens = Drain("a & b");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kBad);
+  EXPECT_EQ(tokens[1].text, "&");
+}
+
+TEST(Lexer, CaptureParenBodyReturnsRawText) {
+  Lexer lexer("(DAILY/2) rest");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kLParen);
+  EXPECT_EQ(lexer.CaptureParenBody(), "DAILY/2");
+  EXPECT_EQ(lexer.Next().text, "rest");
+}
+
+TEST(Lexer, CaptureParenBodyHandlesNesting) {
+  Lexer lexer("((1+2)*3)x");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kLParen);
+  EXPECT_EQ(lexer.CaptureParenBody(), "(1+2)*3");
+  EXPECT_EQ(lexer.Next().text, "x");
+}
+
+TEST(Lexer, CaptureParenBodyAtEofReturnsRemainder) {
+  Lexer lexer("(unterminated");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kLParen);
+  EXPECT_EQ(lexer.CaptureParenBody(), "unterminated");
+  EXPECT_EQ(lexer.Next().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, TokenTextViewsPointIntoInput) {
+  std::string input = "stable";
+  Lexer lexer(input);
+  Token token = lexer.Next();
+  EXPECT_EQ(token.text.data(), input.data());
+}
+
+TEST(Lexer, PaperExampleTokenCount) {
+  std::string_view line = "a\tb!(10), c!(20)\n";
+  std::vector<Token> tokens = Drain(line);
+  // a b ! ( captured-not-here... the parser captures parens; raw lexing sees:
+  // name name op lparen name rparen comma name op lparen name rparen newline end
+  ASSERT_EQ(tokens.size(), 14u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[2].op, '!');
+}
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,138 @@
+#include "src/route_db/address.h"
+
+#include <gtest/gtest.h>
+
+namespace pathalias {
+namespace {
+
+TEST(Address, PureBangPath) {
+  Address address = ParseAddress("a!b!c!user", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 3u);
+  EXPECT_EQ(address.path[0], "a");
+  EXPECT_EQ(address.path[1], "b");
+  EXPECT_EQ(address.path[2], "c");
+  EXPECT_EQ(address.user, "user");
+  EXPECT_TRUE(address.saw_bang);
+  EXPECT_FALSE(address.ambiguous());
+}
+
+TEST(Address, PureRfc822) {
+  Address address = ParseAddress("user@host", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 1u);
+  EXPECT_EQ(address.path[0], "host");
+  EXPECT_EQ(address.user, "user");
+  EXPECT_TRUE(address.saw_at);
+  EXPECT_FALSE(address.ambiguous());
+}
+
+TEST(Address, BareUserIsLocal) {
+  Address address = ParseAddress("honey", ParseStyle::kUucpFirst);
+  EXPECT_TRUE(address.path.empty());
+  EXPECT_EQ(address.user, "honey");
+}
+
+TEST(Address, MixedSyntaxUucpFirst) {
+  // A UUCP mailer relays via a first; the @ part is resolved later.
+  Address address = ParseAddress("a!user@b", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 2u);
+  EXPECT_EQ(address.path[0], "a");
+  EXPECT_EQ(address.path[1], "b");
+  EXPECT_EQ(address.user, "user");
+  EXPECT_TRUE(address.ambiguous());
+}
+
+TEST(Address, MixedSyntaxRfc822First) {
+  // An RFC822 mailer sends to b, which then sees a!user.
+  Address address = ParseAddress("a!user@b", ParseStyle::kRfc822First);
+  ASSERT_EQ(address.path.size(), 2u);
+  EXPECT_EQ(address.path[0], "b");
+  EXPECT_EQ(address.path[1], "a");
+  EXPECT_EQ(address.user, "user");
+  EXPECT_TRUE(address.ambiguous());
+}
+
+TEST(Address, UndergroundPercentSyntax) {
+  // "member hosts stretch the rules with underground syntax: user%host@relay."
+  Address address = ParseAddress("user%h2@h1", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 2u);
+  EXPECT_EQ(address.path[0], "h1");
+  EXPECT_EQ(address.path[1], "h2");
+  EXPECT_EQ(address.user, "user");
+  EXPECT_TRUE(address.saw_percent);
+}
+
+TEST(Address, ChainedPercents) {
+  Address address = ParseAddress("user%h3%h2@h1", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 3u);
+  EXPECT_EQ(address.path[0], "h1");
+  EXPECT_EQ(address.path[1], "h2");
+  EXPECT_EQ(address.path[2], "h3");
+  EXPECT_EQ(address.user, "user");
+}
+
+TEST(Address, GatewayProducedBangInsideLocalPart) {
+  // seismo!f.isi.usc.edu!postel style, wrapped in RFC822 by a gateway.
+  Address address = ParseAddress("seismo!postel@f.isi.usc.edu", ParseStyle::kRfc822First);
+  ASSERT_EQ(address.path.size(), 2u);
+  EXPECT_EQ(address.path[0], "f.isi.usc.edu");
+  EXPECT_EQ(address.path[1], "seismo");
+  EXPECT_EQ(address.user, "postel");
+}
+
+TEST(Address, DottedHostNamesSurvive) {
+  Address address = ParseAddress("seismo!caip.rutgers.edu!pleasant", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 2u);
+  EXPECT_EQ(address.path[0], "seismo");
+  EXPECT_EQ(address.path[1], "caip.rutgers.edu");
+  EXPECT_EQ(address.user, "pleasant");
+}
+
+TEST(Address, EmptyInput) {
+  Address address = ParseAddress("", ParseStyle::kUucpFirst);
+  EXPECT_TRUE(address.path.empty());
+  EXPECT_TRUE(address.user.empty());
+}
+
+TEST(Address, TrailingBangYieldsEmptyUser) {
+  Address address = ParseAddress("a!b!", ParseStyle::kUucpFirst);
+  ASSERT_EQ(address.path.size(), 2u);
+  EXPECT_EQ(address.user, "");
+}
+
+TEST(Address, ToBangPathRoundTrip) {
+  for (std::string_view text :
+       {"a!b!c!user", "user@host", "a!user@b", "user%h2@h1", "plainuser"}) {
+    Address address = ParseAddress(text, ParseStyle::kUucpFirst);
+    std::string bang = ToBangPath(address);
+    Address reparsed = ParseAddress(bang, ParseStyle::kUucpFirst);
+    EXPECT_EQ(reparsed.path, address.path) << text;
+    EXPECT_EQ(reparsed.user, address.user) << text;
+  }
+}
+
+TEST(Address, ToPercentFormRoundTrip) {
+  Address address = ParseAddress("h1!h2!h3!user", ParseStyle::kUucpFirst);
+  std::string percent = ToPercentForm(address);
+  EXPECT_EQ(percent, "user%h3%h2@h1");
+  Address reparsed = ParseAddress(percent, ParseStyle::kUucpFirst);
+  EXPECT_EQ(reparsed.path, address.path);
+  EXPECT_EQ(reparsed.user, address.user);
+}
+
+TEST(Address, ToPercentFormOfLocalUser) {
+  Address address = ParseAddress("justme", ParseStyle::kUucpFirst);
+  EXPECT_EQ(ToPercentForm(address), "justme");
+}
+
+TEST(Address, TheTwoConventionsDisagreeExactlyOnMixedForms) {
+  // The heart of the ambiguity problem: same string, different delivery order.
+  Address uucp = ParseAddress("a!user@b", ParseStyle::kUucpFirst);
+  Address rfc = ParseAddress("a!user@b", ParseStyle::kRfc822First);
+  EXPECT_NE(uucp.path, rfc.path);
+  Address pure = ParseAddress("a!b!user", ParseStyle::kUucpFirst);
+  Address pure_rfc = ParseAddress("a!b!user", ParseStyle::kRfc822First);
+  EXPECT_EQ(pure.path, pure_rfc.path) << "pure forms parse identically";
+}
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,188 @@
+#include "src/route_db/resolver.h"
+
+#include <gtest/gtest.h>
+
+namespace pathalias {
+namespace {
+
+// The paper's route list for the domain examples (§Output, Domains).
+RouteSet PaperRoutes() {
+  RouteSet set;
+  set.Add("seismo", "seismo!%s", 100);
+  set.Add(".edu", "seismo!%s", 100);
+  set.Add("duke", "duke!%s", 500);
+  set.Add("phs", "duke!phs!%s", 800);
+  set.Add("ucbvax", "duke!research!ucbvax!%s", 3300);
+  return set;
+}
+
+Resolver MakeResolver(const RouteSet& routes, ResolveOptions options = {}) {
+  return Resolver(&routes, options);
+}
+
+TEST(Resolver, ExactHostMatch) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("phs!honey");
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.route, "duke!phs!honey");
+  EXPECT_EQ(r.via, "phs");
+}
+
+TEST(Resolver, PaperDomainExampleExactEntry) {
+  // "a mailer first searches the route list for caip.rutgers.edu; if found, the mailer
+  // uses argument pleasant, producing seismo!caip.rutgers.edu!pleasant."
+  RouteSet routes = PaperRoutes();
+  routes.Add("caip.rutgers.edu", "seismo!caip.rutgers.edu!%s", 195);
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("caip.rutgers.edu!pleasant");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "caip.rutgers.edu");
+  EXPECT_EQ(r.argument, "pleasant");
+  EXPECT_EQ(r.route, "seismo!caip.rutgers.edu!pleasant");
+}
+
+TEST(Resolver, PaperDomainExampleSuffixFallback) {
+  // "Otherwise, a search for .rutgers.edu, followed by a search for .edu, produces
+  // seismo!%s ... The argument here is not pleasant (as it were), it is
+  // caip.rutgers.edu!pleasant, producing seismo!caip.rutgers.edu!pleasant, as before."
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("caip.rutgers.edu!pleasant");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, ".edu");
+  EXPECT_EQ(r.argument, "caip.rutgers.edu!pleasant");
+  EXPECT_EQ(r.route, "seismo!caip.rutgers.edu!pleasant");
+}
+
+TEST(Resolver, LongestDomainSuffixWinsOverShorter) {
+  RouteSet routes = PaperRoutes();
+  routes.Add(".rutgers.edu", "caip!%s", 50);
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("blue.rutgers.edu!user");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, ".rutgers.edu");
+  EXPECT_EQ(r.route, "caip!blue.rutgers.edu!user");
+}
+
+TEST(Resolver, Rfc822FormResolvesLikeBangForm) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("pleasant@caip.rutgers.edu");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.route, "seismo!caip.rutgers.edu!pleasant");
+}
+
+TEST(Resolver, LocalUserNeedsNoRoute) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("honey");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.route, "honey");
+  EXPECT_EQ(r.via, "<local>");
+}
+
+TEST(Resolver, UnknownHostFails) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("nowhere!user");
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("nowhere"), std::string::npos);
+}
+
+TEST(Resolver, EmptyAddressFails) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  EXPECT_FALSE(resolver.Resolve("").ok);
+}
+
+TEST(Resolver, FirstHopHandsRemainderToFirstRelay) {
+  // A USENET reply path: route to the first site, pass the rest through.
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("duke!research!ucbvax!mcvax!piet");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "duke");
+  EXPECT_EQ(r.route, "duke!research!ucbvax!mcvax!piet");
+}
+
+TEST(Resolver, RightmostKnownShortensThePath) {
+  // "should it search for the right-most host known to its database? The latter
+  // approach can result in significant savings."
+  ResolveOptions options;
+  options.optimize = ResolveOptions::Optimize::kRightmostKnown;
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes, options);
+  Resolution r = resolver.Resolve("duke!research!ucbvax!mcvax!piet");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "ucbvax");
+  EXPECT_EQ(r.route, "duke!research!ucbvax!mcvax!piet")
+      << "same final string here, but produced from the ucbvax route";
+  EXPECT_EQ(r.argument, "mcvax!piet");
+
+  // Where the database has a better route to the rightmost host, the saving shows.
+  Resolution shortcut = resolver.Resolve("ucbvax!phs!user");
+  ASSERT_TRUE(shortcut.ok);
+  EXPECT_EQ(shortcut.via, "phs");
+  EXPECT_EQ(shortcut.route, "duke!phs!user");
+}
+
+TEST(Resolver, LoopTestsSurviveOptimization) {
+  // "Loop tests are a time-honored UUCP tradition, and an overly-enthusiastic
+  // optimizer can eliminate them altogether."
+  ResolveOptions options;
+  options.optimize = ResolveOptions::Optimize::kRightmostKnown;
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes, options);
+  Resolution r = resolver.Resolve("duke!phs!duke!user");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "duke") << "path repeats duke: no rightmost rewriting";
+  EXPECT_EQ(r.route, "duke!phs!duke!user");
+}
+
+TEST(Resolver, LoopPreservationCanBeDisabled) {
+  ResolveOptions options;
+  options.optimize = ResolveOptions::Optimize::kRightmostKnown;
+  options.preserve_loops = false;
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes, options);
+  Resolution r = resolver.Resolve("duke!phs!duke!user");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "duke");
+  EXPECT_EQ(r.argument, "user") << "the loop collapses";
+  EXPECT_EQ(r.route, "duke!user");
+}
+
+TEST(Resolver, RightmostFallsBackToFirstHopWhenNothingKnown) {
+  ResolveOptions options;
+  options.optimize = ResolveOptions::Optimize::kRightmostKnown;
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes, options);
+  Resolution r = resolver.Resolve("duke!unknown1!unknown2!user");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "duke");
+}
+
+TEST(Resolver, DomainSuffixOnRelayInsideRewrittenPath) {
+  ResolveOptions options;
+  options.optimize = ResolveOptions::Optimize::kRightmostKnown;
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes, options);
+  // Rightmost known is the domain member (via .edu suffix).
+  Resolution r = resolver.Resolve("duke!caip.rutgers.edu!user");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, ".edu");
+  EXPECT_EQ(r.route, "seismo!caip.rutgers.edu!user");
+}
+
+TEST(Resolver, PercentFormResolves) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  Resolution r = resolver.Resolve("user%phs@duke");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.via, "duke");
+  EXPECT_EQ(r.route, "duke!phs!user");
+}
+
+}  // namespace
+}  // namespace pathalias

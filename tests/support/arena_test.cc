@@ -1,0 +1,149 @@
+#include "src/support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <set>
+#include <string>
+
+namespace pathalias {
+namespace {
+
+TEST(Arena, AllocationsAreDistinctAndWritable) {
+  Arena arena;
+  char* a = static_cast<char*>(arena.Allocate(16));
+  char* b = static_cast<char*>(arena.Allocate(16));
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 16);
+  std::memset(b, 0xBB, 16);
+  EXPECT_EQ(static_cast<unsigned char>(a[15]), 0xAA);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0xBB);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena arena;
+  arena.Allocate(1, 1);  // misalign the cursor
+  void* p8 = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p8) % 8, 0u);
+  arena.Allocate(3, 1);
+  void* p64 = arena.Allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p64) % 64, 0u);
+}
+
+TEST(Arena, ZeroSizedAllocationsAreDistinct) {
+  Arena arena;
+  void* a = arena.Allocate(0);
+  void* b = arena.Allocate(0);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, OversizeRequestGetsDedicatedBlock) {
+  Arena arena(4096);
+  char* big = static_cast<char*>(arena.Allocate(1 << 20));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 1, 1 << 20);
+  EXPECT_EQ(arena.stats().oversize_count, 1u);
+}
+
+TEST(Arena, ManySmallAllocationsSpanBlocks) {
+  Arena arena(2048);
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = arena.Allocate(64);
+    EXPECT_TRUE(seen.insert(p).second) << "allocation returned twice";
+  }
+  EXPECT_GT(arena.stats().block_count, 10u);
+  EXPECT_GE(arena.stats().bytes_requested, 64000u);
+}
+
+TEST(Arena, InternStringCopiesAndTerminates) {
+  Arena arena;
+  std::string original = "seismo";
+  char* interned = arena.InternString(original);
+  original[0] = 'X';
+  EXPECT_STREQ(interned, "seismo");
+  EXPECT_EQ(interned[6], '\0');
+}
+
+TEST(Arena, InternEmptyString) {
+  Arena arena;
+  char* interned = arena.InternString("");
+  EXPECT_STREQ(interned, "");
+}
+
+TEST(Arena, DonatedRegionIsReused) {
+  Arena arena(1024);
+  // A region big enough to satisfy the next over-block request.
+  char* region = static_cast<char*>(arena.Allocate(8192));
+  size_t blocks_before = arena.stats().block_count;
+  arena.Donate(region, 8192);
+  void* reused = arena.Allocate(4096);
+  EXPECT_EQ(arena.stats().block_count, blocks_before) << "should not have asked the OS";
+  EXPECT_EQ(arena.stats().donations_reused, 1u);
+  EXPECT_GE(reused, static_cast<void*>(region));
+  EXPECT_LT(reused, static_cast<void*>(region + 8192));
+}
+
+TEST(Arena, TinyDonationsAreDiscarded) {
+  Arena arena;
+  char buffer[32];
+  arena.Donate(buffer, sizeof(buffer));
+  EXPECT_EQ(arena.stats().donations, 1u);
+  // Nothing to verify beyond "no crash, never reused": allocate a lot and ensure the
+  // foreign buffer is never handed back.
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(128);
+    EXPECT_TRUE(p < static_cast<void*>(buffer) || p >= static_cast<void*>(buffer + 32));
+  }
+}
+
+TEST(Arena, NewConstructsTriviallyDestructibleTypes) {
+  struct Pod {
+    int x;
+    double y;
+  };
+  Arena arena;
+  Pod* pod = arena.New<Pod>(7, 2.5);
+  EXPECT_EQ(pod->x, 7);
+  EXPECT_EQ(pod->y, 2.5);
+}
+
+TEST(Arena, NewArrayIsWritable) {
+  Arena arena;
+  int* xs = arena.NewArray<int>(100);
+  for (int i = 0; i < 100; ++i) {
+    xs[i] = i;
+  }
+  EXPECT_EQ(xs[99], 99);
+}
+
+TEST(Arena, TraceRecordsAllocationSizes) {
+  Arena arena;
+  std::vector<uint32_t> trace;
+  arena.set_trace(&trace);
+  arena.Allocate(10);
+  arena.Allocate(20);
+  arena.InternString("abc");  // 4 bytes with the NUL
+  arena.set_trace(nullptr);
+  arena.Allocate(99);  // not recorded
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], 10u);
+  EXPECT_EQ(trace[1], 20u);
+  EXPECT_EQ(trace[2], 4u);
+}
+
+TEST(Arena, StatsTrackRequestsAndReserves) {
+  Arena arena(4096);
+  arena.Allocate(100);
+  arena.Allocate(200);
+  const Arena::Stats& stats = arena.stats();
+  EXPECT_EQ(stats.allocation_count, 2u);
+  EXPECT_GE(stats.bytes_requested, 300u);
+  EXPECT_GE(stats.bytes_reserved, stats.bytes_requested);
+}
+
+}  // namespace
+}  // namespace pathalias

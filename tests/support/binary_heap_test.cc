@@ -1,0 +1,157 @@
+#include "src/support/binary_heap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace pathalias {
+namespace {
+
+struct Item {
+  int64_t key = 0;
+  int32_t heap_index = 0;
+  int id = 0;
+};
+
+struct ItemLess {
+  bool operator()(const Item* a, const Item* b) const {
+    if (a->key != b->key) {
+      return a->key < b->key;
+    }
+    return a->id < b->id;  // deterministic tie-break
+  }
+};
+
+struct ItemHook {
+  static void SetIndex(Item* item, int32_t index) { item->heap_index = index; }
+  static int32_t GetIndex(const Item* item) { return item->heap_index; }
+};
+
+using Heap = BinaryHeap<Item*, ItemLess, ItemHook>;
+
+TEST(BinaryHeap, PopsInIncreasingOrder) {
+  std::vector<Item> items(50);
+  Heap heap;
+  for (int i = 0; i < 50; ++i) {
+    items[static_cast<size_t>(i)].key = (i * 37) % 50;
+    items[static_cast<size_t>(i)].id = i;
+    heap.Push(&items[static_cast<size_t>(i)]);
+  }
+  int64_t last = -1;
+  while (!heap.empty()) {
+    Item* item = heap.PopMin();
+    EXPECT_GE(item->key, last);
+    last = item->key;
+    EXPECT_EQ(item->heap_index, 0) << "popped item should be marked out of the heap";
+  }
+}
+
+TEST(BinaryHeap, IndexZeroMeansNotInHeap) {
+  Item item{5, 0, 1};
+  Heap heap;
+  EXPECT_FALSE(heap.Contains(&item));
+  heap.Push(&item);
+  EXPECT_TRUE(heap.Contains(&item));
+  EXPECT_GT(item.heap_index, 0);
+  heap.PopMin();
+  EXPECT_FALSE(heap.Contains(&item));
+}
+
+TEST(BinaryHeap, DecreaseKeyPromotesElement) {
+  std::vector<Item> items(10);
+  Heap heap;
+  for (int i = 0; i < 10; ++i) {
+    items[static_cast<size_t>(i)].key = 100 + i;
+    items[static_cast<size_t>(i)].id = i;
+    heap.Push(&items[static_cast<size_t>(i)]);
+  }
+  items[7].key = 1;  // decrease in place, then restore
+  heap.DecreaseKey(&items[7]);
+  EXPECT_EQ(heap.PopMin(), &items[7]);
+}
+
+TEST(BinaryHeap, DecreaseKeyToTieUsesIdOrder) {
+  std::vector<Item> items(3);
+  Heap heap;
+  for (int i = 0; i < 3; ++i) {
+    items[static_cast<size_t>(i)].key = 10 + i;
+    items[static_cast<size_t>(i)].id = i;
+    heap.Push(&items[static_cast<size_t>(i)]);
+  }
+  items[2].key = 10;
+  heap.DecreaseKey(&items[2]);
+  EXPECT_EQ(heap.PopMin()->id, 0);  // tie on key 10 broken by id
+  EXPECT_EQ(heap.PopMin()->id, 2);
+}
+
+TEST(BinaryHeap, AdoptedStorageWorksWithoutAllocation) {
+  std::vector<Item> items(32);
+  std::vector<Item*> storage(64);
+  Heap heap(storage.data(), storage.size());
+  for (int i = 0; i < 32; ++i) {
+    items[static_cast<size_t>(i)].key = 32 - i;
+    items[static_cast<size_t>(i)].id = i;
+    heap.Push(&items[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(heap.size(), 32u);
+  int64_t last = -1;
+  while (!heap.empty()) {
+    int64_t key = heap.PopMin()->key;
+    EXPECT_GE(key, last);
+    last = key;
+  }
+}
+
+// Property test: a long random mix of pushes, pops, and decrease-keys agrees with a
+// reference priority queue at every extraction.
+class BinaryHeapPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BinaryHeapPropertyTest, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  constexpr int kItems = 400;
+  std::vector<Item> items(kItems);
+  for (int i = 0; i < kItems; ++i) {
+    items[static_cast<size_t>(i)].id = i;
+  }
+  Heap heap;
+  std::vector<Item*> live;  // items currently in the heap
+  auto reference_min = [&]() {
+    return *std::min_element(live.begin(), live.end(), ItemLess());
+  };
+  int next_unused = 0;
+  for (int step = 0; step < 2000; ++step) {
+    double roll = rng.Double();
+    if (roll < 0.45 && next_unused < kItems) {
+      Item* item = &items[static_cast<size_t>(next_unused++)];
+      item->key = static_cast<int64_t>(rng.Below(1000));
+      heap.Push(item);
+      live.push_back(item);
+    } else if (roll < 0.70 && !live.empty()) {
+      Item* item = live[rng.Below(live.size())];
+      item->key -= static_cast<int64_t>(rng.Below(50));
+      heap.DecreaseKey(item);
+    } else if (!live.empty()) {
+      Item* expected = reference_min();
+      Item* actual = heap.PopMin();
+      ASSERT_EQ(actual, expected) << "step " << step;
+      live.erase(std::find(live.begin(), live.end(), actual));
+    }
+  }
+  while (!live.empty()) {
+    Item* expected = reference_min();
+    Item* actual = heap.PopMin();
+    ASSERT_EQ(actual, expected);
+    live.erase(std::find(live.begin(), live.end(), actual));
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BinaryHeapPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,131 @@
+#include "src/support/cdb.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+namespace pathalias {
+namespace {
+
+TEST(Cdb, RoundTripsSmallSet) {
+  CdbWriter writer;
+  writer.Put("unc", "%s");
+  writer.Put("duke", "duke!%s");
+  writer.Put("mit-ai", "duke!research!ucbvax!%s@mit-ai");
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->record_count(), 3u);
+  EXPECT_EQ(reader->Get("unc").value_or(""), "%s");
+  EXPECT_EQ(reader->Get("duke").value_or(""), "duke!%s");
+  EXPECT_EQ(reader->Get("mit-ai").value_or(""), "duke!research!ucbvax!%s@mit-ai");
+}
+
+TEST(Cdb, MissingKeysReturnNothing) {
+  CdbWriter writer;
+  writer.Put("a", "1");
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_FALSE(reader->Get("b").has_value());
+  EXPECT_FALSE(reader->Get("").has_value());
+  EXPECT_FALSE(reader->Get("aa").has_value());
+}
+
+TEST(Cdb, LaterPutReplacesEarlier) {
+  CdbWriter writer;
+  writer.Put("host", "old!%s");
+  writer.Put("host", "new!%s");
+  EXPECT_EQ(writer.size(), 1u);
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->Get("host").value_or(""), "new!%s");
+}
+
+TEST(Cdb, EmptyDatabaseIsValid) {
+  CdbWriter writer;
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->record_count(), 0u);
+  EXPECT_FALSE(reader->Get("anything").has_value());
+}
+
+TEST(Cdb, EmptyValuesAndBinaryValuesSurvive) {
+  CdbWriter writer;
+  writer.Put("empty", "");
+  writer.Put("binary", std::string("\x00\x01\xff", 3));
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->Get("empty").value_or("x"), "");
+  EXPECT_EQ(reader->Get("binary").value_or(""), std::string("\x00\x01\xff", 3));
+}
+
+TEST(Cdb, RejectsCorruptImages) {
+  EXPECT_FALSE(CdbReader::FromBuffer("").has_value());
+  EXPECT_FALSE(CdbReader::FromBuffer("garbage").has_value());
+  EXPECT_FALSE(CdbReader::FromBuffer(std::string(64, '\0')).has_value());
+
+  CdbWriter writer;
+  writer.Put("k", "v");
+  std::string image = writer.WriteBuffer();
+  std::string truncated = image.substr(0, image.size() - 7);
+  EXPECT_FALSE(CdbReader::FromBuffer(truncated).has_value());
+  std::string bad_magic = image;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(CdbReader::FromBuffer(bad_magic).has_value());
+}
+
+TEST(Cdb, ForEachVisitsInInsertionOrder) {
+  CdbWriter writer;
+  writer.Put("one", "1");
+  writer.Put("two", "2");
+  writer.Put("three", "3");
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  std::vector<std::string> keys;
+  reader->ForEach([&](std::string_view key, std::string_view) { keys.emplace_back(key); });
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], "one");
+  EXPECT_EQ(keys[1], "two");
+  EXPECT_EQ(keys[2], "three");
+}
+
+TEST(Cdb, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "pathalias_cdb_test.cdb").string();
+  CdbWriter writer;
+  writer.Put("seismo", "seismo!%s");
+  ASSERT_TRUE(writer.WriteFile(path));
+  auto reader = CdbReader::Open(path);
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->Get("seismo").value_or(""), "seismo!%s");
+  std::remove(path.c_str());
+}
+
+TEST(Cdb, OpenMissingFileFails) {
+  EXPECT_FALSE(CdbReader::Open("/nonexistent/路徑/routes.cdb").has_value());
+}
+
+class CdbScaleTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdbScaleTest, AllKeysRetrievableAtScale) {
+  int count = GetParam();
+  CdbWriter writer;
+  for (int i = 0; i < count; ++i) {
+    writer.Put("host" + std::to_string(i), "route" + std::to_string(i * 3) + "!%s");
+  }
+  auto reader = CdbReader::FromBuffer(writer.WriteBuffer());
+  ASSERT_TRUE(reader.has_value());
+  EXPECT_EQ(reader->record_count(), static_cast<uint64_t>(count));
+  for (int i = 0; i < count; i += 7) {
+    auto value = reader->Get("host" + std::to_string(i));
+    ASSERT_TRUE(value.has_value()) << i;
+    EXPECT_EQ(*value, "route" + std::to_string(i * 3) + "!%s");
+  }
+  EXPECT_FALSE(reader->Get("host" + std::to_string(count)).has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CdbScaleTest, ::testing::Values(1, 10, 100, 1000, 10000));
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,119 @@
+// Tests for the diagnostics sink and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/support/diag.h"
+#include "src/support/rng.h"
+
+namespace pathalias {
+namespace {
+
+TEST(Diagnostics, CountsBySeverity) {
+  Diagnostics diag;
+  diag.Note({}, "n");
+  diag.Warn({}, "w1");
+  diag.Warn({}, "w2");
+  diag.Error({}, "e");
+  EXPECT_EQ(diag.error_count(), 1);
+  EXPECT_EQ(diag.warning_count(), 2);
+  EXPECT_FALSE(diag.ok());
+  EXPECT_EQ(diag.diagnostics().size(), 4u);
+}
+
+TEST(Diagnostics, RendersFileLineSeverity) {
+  Diagnostic diagnostic{Severity::kError, {"map.txt", 12}, "bad link"};
+  EXPECT_EQ(ToString(diagnostic), "map.txt:12: error: bad link");
+  Diagnostic no_line{Severity::kWarning, {"map.txt", 0}, "eof oddity"};
+  EXPECT_EQ(ToString(no_line), "map.txt: warning: eof oddity");
+  Diagnostic no_file{Severity::kNote, {}, "hello"};
+  EXPECT_EQ(ToString(no_file), "note: hello");
+}
+
+TEST(Diagnostics, SinkStreamsEachReport) {
+  Diagnostics diag;
+  int seen = 0;
+  diag.set_sink([&](const Diagnostic&) { ++seen; });
+  diag.Warn({}, "one");
+  diag.Error({}, "two");
+  EXPECT_EQ(seen, 2);
+}
+
+TEST(Diagnostics, MentionsSearchesMessages) {
+  Diagnostics diag;
+  diag.Warn({}, "duplicate link a!b");
+  EXPECT_TRUE(diag.Mentions("duplicate link"));
+  EXPECT_FALSE(diag.Mentions("unreachable"));
+}
+
+TEST(Diagnostics, ClearResets) {
+  Diagnostics diag;
+  diag.Error({}, "boom");
+  diag.Clear();
+  EXPECT_TRUE(diag.ok());
+  EXPECT_TRUE(diag.diagnostics().empty());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 100ull, 1000000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, RangeIsInclusive) {
+  Rng rng(10);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t value = rng.Range(-2, 2);
+    EXPECT_GE(value, -2);
+    EXPECT_LE(value, 2);
+    seen.insert(value);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "all five values should appear in 500 draws";
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double value = rng.Double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(values.begin(), values.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,256 @@
+#include "src/support/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/rng.h"
+
+namespace pathalias {
+namespace {
+
+// Interns keys in the arena the way Graph does.
+class TableFixture {
+ public:
+  Arena arena;
+  HashTable<int> table{&arena};
+
+  const char* Intern(const std::string& key) { return arena.InternString(key); }
+};
+
+TEST(HashHostName, DiffersOnRealHostNames) {
+  // Not a collision-freeness claim, just sanity on representative 1986 names.
+  std::vector<std::string> names = {"seismo", "ihnp4",  "ucbvax",   "decvax", "mcvax",
+                                    "unc",    "duke",   "research", "phs",    "allegra",
+                                    "bilbo",  "bilbo1", "1bilbo",   ".edu",   ".rutgers.edu"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    for (size_t j = i + 1; j < names.size(); ++j) {
+      EXPECT_NE(HashHostName(names[i]), HashHostName(names[j]))
+          << names[i] << " vs " << names[j];
+    }
+  }
+}
+
+TEST(HashHostName, DependsOnOrder) {
+  EXPECT_NE(HashHostName("ab"), HashHostName("ba"));
+}
+
+TEST(SecondaryHash, PaperAndKnuthStayInRange) {
+  PaperSecondaryHash paper;
+  KnuthSecondaryHash knuth;
+  for (uint64_t t : {5ull, 11ull, 61ull, 127ull, 1009ull}) {
+    for (uint64_t k = 0; k < 500; ++k) {
+      uint64_t h = HashHostName("host" + std::to_string(k));
+      uint64_t p = paper(h, t);
+      uint64_t q = knuth(h, t);
+      EXPECT_GE(p, 1u);
+      EXPECT_LE(p, t - 2);
+      EXPECT_GE(q, 1u);
+      EXPECT_LE(q, t - 2);
+    }
+  }
+}
+
+TEST(HashTable, InsertAndFind) {
+  TableFixture f;
+  EXPECT_TRUE(f.table.Insert(f.Intern("seismo"), 1));
+  EXPECT_TRUE(f.table.Insert(f.Intern("ihnp4"), 2));
+  ASSERT_NE(f.table.Find("seismo"), nullptr);
+  EXPECT_EQ(*f.table.Find("seismo"), 1);
+  ASSERT_NE(f.table.Find("ihnp4"), nullptr);
+  EXPECT_EQ(*f.table.Find("ihnp4"), 2);
+  EXPECT_EQ(f.table.Find("mcvax"), nullptr);
+}
+
+TEST(HashTable, DuplicateInsertRejected) {
+  TableFixture f;
+  EXPECT_TRUE(f.table.Insert(f.Intern("unc"), 1));
+  EXPECT_FALSE(f.table.Insert(f.Intern("unc"), 2));
+  EXPECT_EQ(*f.table.Find("unc"), 1);
+  EXPECT_EQ(f.table.size(), 1u);
+}
+
+TEST(HashTable, FindOnEmptyTable) {
+  Arena arena;
+  HashTable<int> table(&arena, 0);
+  EXPECT_EQ(table.Find("anything"), nullptr);
+}
+
+TEST(HashTable, ValueIsMutableThroughFind) {
+  TableFixture f;
+  f.table.Insert(f.Intern("duke"), 10);
+  *f.table.Find("duke") = 99;
+  EXPECT_EQ(*f.table.Find("duke"), 99);
+}
+
+TEST(HashTable, GrowthPreservesAllEntries) {
+  TableFixture f;
+  constexpr int kCount = 5000;
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_TRUE(f.table.Insert(f.Intern("host" + std::to_string(i)), i));
+  }
+  EXPECT_EQ(f.table.size(), static_cast<uint64_t>(kCount));
+  for (int i = 0; i < kCount; ++i) {
+    int* value = f.table.Find("host" + std::to_string(i));
+    ASSERT_NE(value, nullptr) << i;
+    EXPECT_EQ(*value, i);
+  }
+  EXPECT_GT(f.table.probe_stats().rehashes, 5u);
+}
+
+TEST(HashTable, LoadFactorNeverExceedsHighWater) {
+  TableFixture f;
+  for (int i = 0; i < 2000; ++i) {
+    f.table.Insert(f.Intern("h" + std::to_string(i)), i);
+    ASSERT_LE(f.table.load_factor(), HashTable<int>::kHighWater + 1e-9) << "after " << i;
+  }
+}
+
+TEST(HashTable, CapacityIsAlwaysPrime) {
+  TableFixture f;
+  for (int i = 0; i < 3000; ++i) {
+    f.table.Insert(f.Intern("n" + std::to_string(i)), i);
+    ASSERT_TRUE(IsPrime(f.table.capacity())) << f.table.capacity();
+  }
+}
+
+TEST(HashTable, DiscardedTablesAreDonatedToArena) {
+  TableFixture f;
+  for (int i = 0; i < 2000; ++i) {
+    f.table.Insert(f.Intern("d" + std::to_string(i)), i);
+  }
+  // Every rehash after the initial allocation donates the old slot array (the first
+  // growth has no predecessor to donate).
+  EXPECT_EQ(f.arena.stats().donations, f.table.probe_stats().rehashes - 1);
+  EXPECT_GT(f.arena.stats().donations_reused, 0u)
+      << "later growth should reuse earlier tables' storage";
+}
+
+TEST(HashTable, ProbeStatsCountAccesses) {
+  TableFixture f;
+  f.table.ResetProbeStats();
+  f.table.Insert(f.Intern("a"), 1);
+  f.table.Find("a");
+  f.table.Find("missing");
+  const auto& stats = f.table.probe_stats();
+  EXPECT_EQ(stats.accesses, 3u);
+  EXPECT_GE(stats.probes, 3u);
+}
+
+TEST(HashTable, AverageProbesNearTwoAtHighWater) {
+  // Gonnet's prediction the paper cites: ~2 probes per successful access at α = 0.79.
+  TableFixture f;
+  constexpr int kCount = 20000;
+  std::vector<std::string> keys;
+  keys.reserve(kCount);
+  for (int i = 0; i < kCount; ++i) {
+    keys.push_back("probe" + std::to_string(i * 7919));
+    f.table.Insert(f.Intern(keys.back()), i);
+  }
+  f.table.ResetProbeStats();
+  for (const std::string& key : keys) {
+    ASSERT_NE(f.table.Find(key), nullptr);
+  }
+  double average = static_cast<double>(f.table.probe_stats().probes) /
+                   static_cast<double>(f.table.probe_stats().accesses);
+  // The table sits somewhere at or below the high-water mark after its last growth, so
+  // the average must be comfortably under the full-load prediction.
+  EXPECT_LT(average, 2.1);
+  EXPECT_GE(average, 1.0);
+}
+
+TEST(HashTable, StealSlotsReturnsUsableStorage) {
+  TableFixture f;
+  for (int i = 0; i < 100; ++i) {
+    f.table.Insert(f.Intern("s" + std::to_string(i)), i);
+  }
+  uint64_t capacity = f.table.capacity();
+  auto [storage, bytes] = f.table.StealSlots();
+  ASSERT_NE(storage, nullptr);
+  EXPECT_EQ(bytes, capacity * sizeof(HashTable<int>::Slot));
+  EXPECT_TRUE(f.table.stolen());
+  // The arena still owns it; writing through it must be safe.
+  std::memset(storage, 0x5A, bytes);
+}
+
+TEST(HashTable, GeometricGrowthDoubles) {
+  GeometricGrowth growth;
+  uint64_t next = growth.Next(61, 49);
+  EXPECT_GE(next, 123u);
+  EXPECT_TRUE(IsPrime(next));
+  EXPECT_LT(next, 140u);
+}
+
+TEST(HashTable, ArithmeticGrowthTargetsLowWater) {
+  ArithmeticGrowth growth;
+  uint64_t next = growth.Next(1009, 800);
+  EXPECT_TRUE(IsPrime(next));
+  // 800 entries at the 0.49 low-water mark need ~1633 slots; candidates step by 512.
+  EXPECT_GE(next, 1633u);
+  EXPECT_LE(next, 2560u);
+}
+
+TEST(HashTable, KnuthSecondaryVariantStillCorrect) {
+  Arena arena;
+  HashTable<int, KnuthSecondaryHash> table(&arena);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.Insert(arena.InternString("k" + std::to_string(i)), i));
+  }
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_NE(table.Find("k" + std::to_string(i)), nullptr);
+  }
+}
+
+TEST(HashTable, GeometricGrowthVariantStillCorrect) {
+  Arena arena;
+  HashTable<int, PaperSecondaryHash, GeometricGrowth> table(&arena);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(table.Insert(arena.InternString("g" + std::to_string(i)), i));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+}
+
+// Adversarial: many keys forced into the same primary bucket still resolve.
+TEST(HashTable, SurvivesHeavyCollisions) {
+  Arena arena;
+  HashTable<int> table(&arena, 1009);
+  Rng rng(7);
+  std::unordered_map<std::string, int> reference;
+  for (int i = 0; i < 700; ++i) {
+    std::string key = "c" + std::to_string(rng.Below(100000));
+    bool inserted = table.Insert(arena.InternString(key), i);
+    bool reference_inserted = reference.emplace(key, i).second;
+    ASSERT_EQ(inserted, reference_inserted) << key;
+  }
+  for (const auto& [key, value] : reference) {
+    int* found = table.Find(key);
+    ASSERT_NE(found, nullptr) << key;
+    EXPECT_EQ(*found, value);
+  }
+}
+
+using GrowthPolicyNames = ::testing::Types<FibonacciGrowth, GeometricGrowth, ArithmeticGrowth>;
+
+template <typename Growth>
+class GrowthPolicyTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(GrowthPolicyTest, GrowthPolicyNames);
+
+TYPED_TEST(GrowthPolicyTest, TableStaysCorrectThroughManyGrowths) {
+  Arena arena;
+  HashTable<int, PaperSecondaryHash, TypeParam> table(&arena);
+  for (int i = 0; i < 4000; ++i) {
+    ASSERT_TRUE(table.Insert(arena.InternString("x" + std::to_string(i)), i));
+  }
+  for (int i = 0; i < 4000; i += 37) {
+    int* found = table.Find("x" + std::to_string(i));
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, i);
+  }
+  EXPECT_TRUE(IsPrime(table.capacity()));
+}
+
+}  // namespace
+}  // namespace pathalias

@@ -1,0 +1,113 @@
+#include "src/support/primes.h"
+
+#include <gtest/gtest.h>
+
+namespace pathalias {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(IsPrime(0));
+  EXPECT_FALSE(IsPrime(1));
+  EXPECT_TRUE(IsPrime(2));
+  EXPECT_TRUE(IsPrime(3));
+  EXPECT_FALSE(IsPrime(4));
+  EXPECT_TRUE(IsPrime(5));
+  EXPECT_FALSE(IsPrime(9));
+  EXPECT_TRUE(IsPrime(31));
+  EXPECT_FALSE(IsPrime(33));
+  EXPECT_TRUE(IsPrime(37));
+  EXPECT_FALSE(IsPrime(35));
+}
+
+TEST(IsPrime, AgreesWithTrialDivisionUpTo10000) {
+  auto trial = [](uint64_t n) {
+    if (n < 2) {
+      return false;
+    }
+    for (uint64_t d = 2; d * d <= n; ++d) {
+      if (n % d == 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (uint64_t n = 0; n <= 10000; ++n) {
+    ASSERT_EQ(IsPrime(n), trial(n)) << n;
+  }
+}
+
+TEST(IsPrime, CarmichaelNumbersAreComposite) {
+  // Fermat liars that defeat naive probabilistic tests.
+  for (uint64_t carmichael : {561ull, 1105ull, 1729ull, 2465ull, 41041ull, 825265ull}) {
+    EXPECT_FALSE(IsPrime(carmichael)) << carmichael;
+  }
+}
+
+TEST(IsPrime, LargeKnownPrimes) {
+  EXPECT_TRUE(IsPrime(2147483647ull));          // 2^31 - 1
+  EXPECT_TRUE(IsPrime(4294967311ull));          // first prime above 2^32
+  EXPECT_TRUE(IsPrime(18446744073709551557ull));  // largest 64-bit prime
+  EXPECT_FALSE(IsPrime(18446744073709551555ull));
+  EXPECT_FALSE(IsPrime(4294967297ull));  // F5 = 641 * 6700417
+}
+
+TEST(NextPrime, ReturnsFirstPrimeAtOrAbove) {
+  EXPECT_EQ(NextPrime(0), 2u);
+  EXPECT_EQ(NextPrime(2), 2u);
+  EXPECT_EQ(NextPrime(3), 3u);
+  EXPECT_EQ(NextPrime(4), 5u);
+  EXPECT_EQ(NextPrime(90), 97u);
+  EXPECT_EQ(NextPrime(7920), 7927u);
+}
+
+TEST(FibonacciPrimes, SequenceStartsAsDocumented) {
+  std::vector<uint64_t> seq = FibonacciPrimes::Sequence(8);
+  ASSERT_EQ(seq.size(), 8u);
+  EXPECT_EQ(seq[0], 3u);
+  EXPECT_EQ(seq[1], 5u);
+  EXPECT_EQ(seq[2], 11u);   // NextPrime(3+5)
+  EXPECT_EQ(seq[3], 17u);   // NextPrime(5+11)
+  EXPECT_EQ(seq[4], 29u);   // NextPrime(11+17)
+  EXPECT_EQ(seq[5], 47u);
+  EXPECT_EQ(seq[6], 79u);
+  EXPECT_EQ(seq[7], 127u);
+}
+
+TEST(FibonacciPrimes, AllMembersPrimeAndIncreasing) {
+  std::vector<uint64_t> seq = FibonacciPrimes::Sequence(30);
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_TRUE(IsPrime(seq[i])) << seq[i];
+    if (i > 0) {
+      EXPECT_GT(seq[i], seq[i - 1]);
+    }
+  }
+}
+
+TEST(FibonacciPrimes, GrowthApproachesGoldenRatio) {
+  // "maintain a Fibonacci sequence of primes (more or less), which also follows the
+  // golden ratio" — the design point the paper wants from its growth policy.
+  std::vector<uint64_t> seq = FibonacciPrimes::Sequence(25);
+  for (size_t i = 10; i < seq.size(); ++i) {
+    double ratio = static_cast<double>(seq[i]) / static_cast<double>(seq[i - 1]);
+    EXPECT_GT(ratio, 1.55) << "at index " << i;
+    EXPECT_LT(ratio, 1.70) << "at index " << i;
+  }
+}
+
+TEST(FibonacciPrimes, NextSizeSkipsToStrictlyLarger) {
+  FibonacciPrimes seq;
+  EXPECT_EQ(seq.NextSize(0), 5u);  // first call starts the sequence
+  EXPECT_EQ(seq.NextSize(5), 11u);
+  EXPECT_EQ(seq.NextSize(100), 127u);  // jumps several steps at once
+  EXPECT_EQ(seq.NextSize(127), 211u);
+}
+
+TEST(FibonacciPrimes, FreshGeneratorCatchesUpFromAnyPoint) {
+  FibonacciPrimes seq;
+  uint64_t size = seq.NextSize(5000);
+  EXPECT_GT(size, 5000u);
+  EXPECT_TRUE(IsPrime(size));
+}
+
+}  // namespace
+}  // namespace pathalias
