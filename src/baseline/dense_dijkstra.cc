@@ -1,19 +1,17 @@
 #include "src/baseline/dense_dijkstra.h"
 
-#include <cstring>
-
 namespace pathalias {
 namespace {
 
 // Mirror of the heap mapper's tie-break so both algorithms pick identical trees.
-bool LabelBefore(const PathLabel& a, const PathLabel& b) {
+bool LabelBefore(const PathLabel& a, const PathLabel& b, const NameInterner& names) {
   if (a.cost != b.cost) {
     return a.cost < b.cost;
   }
   if (a.hops != b.hops) {
     return a.hops < b.hops;
   }
-  return std::strcmp(a.node->name, b.node->name) < 0;
+  return names.View(a.node->name) < names.View(b.node->name);
 }
 
 }  // namespace
@@ -47,7 +45,7 @@ DenseDijkstraResult DenseDijkstra(Graph* graph, const MapOptions& options) {
       if (label.mapped || label.cost == kUnreached || label.node->deleted()) {
         continue;
       }
-      if (current == nullptr || LabelBefore(label, *current)) {
+      if (current == nullptr || LabelBefore(label, *current, graph->names())) {
         current = &label;
       }
     }

@@ -1,6 +1,5 @@
 #include "src/core/mapper.h"
 
-#include <cstring>
 #include <optional>
 
 #include "src/support/binary_heap.h"
@@ -9,7 +8,10 @@ namespace pathalias {
 namespace {
 
 // Deterministic extraction order: cost, then hop count ("keep paths short"), then name.
+// Equal names are equal ids; the string compare only breaks ties between distinct
+// names, resolved lazily through the interner.
 struct LabelLess {
+  const NameInterner* names = nullptr;
   bool prefer_fewer_hops = true;
 
   bool operator()(const PathLabel* a, const PathLabel* b) const {
@@ -19,9 +21,8 @@ struct LabelLess {
     if (prefer_fewer_hops && a->hops != b->hops) {
       return a->hops < b->hops;
     }
-    int names = std::strcmp(a->node->name, b->node->name);
-    if (names != 0) {
-      return names < 0;
+    if (a->node->name != b->node->name) {
+      return names->View(a->node->name) < names->View(b->node->name);
     }
     return a->taint < b->taint;
   }
@@ -31,12 +32,6 @@ struct LabelIndexHook {
   static void SetIndex(PathLabel* label, int32_t index) { label->heap_index = index; }
   static int32_t GetIndex(const PathLabel* label) { return label->heap_index; }
 };
-
-// True if `from` names a subdomain of `to` (".rutgers.edu" vs ".edu"): the traversal
-// would go *up* the domain tree.
-bool GoesUpDomainTree(std::string_view from, std::string_view to) {
-  return from.size() > to.size() && from.ends_with(to);
-}
 
 }  // namespace
 
@@ -92,7 +87,9 @@ Cost Mapper::CostOf(const PathLabel& prev, const Link& link, uint32_t* penalty_b
     if (to.domain()) {
       // A declared link into a domain is an implicit gateway [R], except going up the
       // domain tree, and except when explicit gateways were declared for it.
-      if (GoesUpDomainTree(from.name_view(), to.name_view())) {
+      // Going *up* the domain tree (".rutgers.edu" into ".edu") is an integer walk of
+      // the interner's precomputed suffix chain — no byte comparisons.
+      if (graph_->names().HasSuffix(from.name, to.name)) {
         charge(cost, kPenaltyUpDomain);
       } else if ((to.flags & kNodeExplicitGateways) != 0) {
         charge(cost, kPenaltyGateway);
@@ -207,8 +204,9 @@ void Mapper::Relax(PathLabel& from, Link& link, MapperHeap& heap, Result& result
   }
   if (from.node->traced() || to->traced() || link.traced()) {
     graph_->diag().Note(
-        SourcePos{}, std::string("trace: ") + from.node->name + " -> " + to->name + " cost " +
-                         std::to_string(cost) + " (" + outcome + ")");
+        SourcePos{}, "trace: " + std::string(graph_->NameOf(from.node)) + " -> " +
+                         std::string(graph_->NameOf(to)) + " cost " + std::to_string(cost) +
+                         " (" + outcome + ")");
   }
 }
 
@@ -243,6 +241,7 @@ size_t Mapper::InventBackLinks(Result& result) {
 
 Mapper::Result Mapper::Run() {
   Result result;
+  result.names = &graph_->names();
   result_ = &result;
   Node* local = graph_->local();
   if (local == nullptr) {
@@ -261,12 +260,13 @@ Mapper::Result Mapper::Run() {
   ApplyTraceRequests();
 
   // "since the hash table is no longer needed and is guaranteed to be large enough, we
-  // use that space instead of allocating a new array."
+  // use that space instead of allocating a new array."  The interner's retired probe
+  // table plays the original hash table's part.
   size_t max_labels = graph_->node_count() * (options_.two_label ? 2 : 1) + 2;
   PathLabel** storage = nullptr;
   size_t capacity = 0;
-  if (options_.reuse_hash_table_storage && !graph_->table().stolen()) {
-    auto [ptr, bytes] = graph_->table().StealSlots();
+  if (options_.reuse_hash_table_storage && !graph_->names().stolen()) {
+    auto [ptr, bytes] = graph_->names().StealTable();
     if (bytes / sizeof(PathLabel*) >= max_labels) {
       storage = static_cast<PathLabel**>(ptr);
       capacity = bytes / sizeof(PathLabel*);
@@ -274,7 +274,7 @@ Mapper::Result Mapper::Run() {
       graph_->arena().Donate(ptr, bytes);
     }
   }
-  LabelLess less{options_.prefer_fewer_hops};
+  LabelLess less{&graph_->names(), options_.prefer_fewer_hops};
   std::optional<MapperHeap> heap;
   if (storage != nullptr) {
     heap.emplace(storage, capacity, less);

@@ -25,7 +25,8 @@ RunResult Run(const std::vector<InputFile>& files, const RunOptions& options,
   Mapper mapper(result.graph.get(), options.map);
   result.map = mapper.Run();
   for (const Node* unreachable : result.map.unreachable) {
-    diag->Warn(SourcePos{}, std::string(unreachable->name) + " is unreachable");
+    diag->Warn(SourcePos{},
+               std::string(result.graph->NameOf(unreachable)) + " is unreachable");
   }
 
   RoutePrinter printer(result.map, options.print);

@@ -2,22 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstring>
 
 namespace pathalias {
 namespace {
 
-// Same ordering the mapper's heap uses; children are visited cheapest-first.
-bool LabelBefore(const PathLabel* a, const PathLabel* b) {
+// Same ordering the mapper's heap uses; children are visited cheapest-first.  Names
+// resolve lazily through the interner carried in the mapping result.
+bool LabelBefore(const PathLabel* a, const PathLabel* b, const NameInterner& names) {
   if (a->cost != b->cost) {
     return a->cost < b->cost;
   }
   if (a->hops != b->hops) {
     return a->hops < b->hops;
   }
-  int names = std::strcmp(a->node->name, b->node->name);
-  if (names != 0) {
-    return names < 0;
+  if (a->node->name != b->node->name) {
+    return names.View(a->node->name) < names.View(b->node->name);
   }
   return a->taint < b->taint;
 }
@@ -107,8 +106,10 @@ std::vector<RouteEntry> RoutePrinter::Build() {
     }
     mapped.push_back(label);
   }
-  std::sort(mapped.begin(), mapped.end(),
-            [](const PathLabel* a, const PathLabel* b) { return LabelBefore(b, a); });
+  const NameInterner& names = *map_->names;
+  std::sort(mapped.begin(), mapped.end(), [&names](const PathLabel* a, const PathLabel* b) {
+    return LabelBefore(b, a, names);
+  });
   for (PathLabel* label : mapped) {
     label->sibling = label->parent->child;
     label->parent->child = label;
@@ -120,7 +121,7 @@ std::vector<RouteEntry> RoutePrinter::Build() {
   std::vector<Frame> stack;
   Frame root_frame;
   root_frame.label = root;
-  root_frame.display_name = root->node->name;
+  root_frame.display_name = std::string(names.View(root->node->name));
   root_frame.route = "%s";
   stack.push_back(std::move(root_frame));
 
@@ -150,7 +151,7 @@ std::vector<RouteEntry> RoutePrinter::Build() {
       if (via.alias()) {
         // Same machine, other name: the route (and any pending domain context) carries
         // over unchanged; only the displayed name differs.
-        next.display_name = child_node.name;
+        next.display_name = std::string(names.View(child_node.name));
         next.route = frame.route;
         next.domain_suffix = frame.domain_suffix;
         next.entry_op = frame.entry_op;
@@ -158,7 +159,7 @@ std::vector<RouteEntry> RoutePrinter::Build() {
       } else if (child_node.placeholder()) {
         // "the route to a network is identical to the route to its parent."
         next.route = frame.route;
-        next.display_name = child_node.name;
+        next.display_name = std::string(names.View(child_node.name));
         if (node.placeholder()) {
           next.entry_op = frame.entry_op;  // stay with the syntax used at entry
           next.entry_right = frame.entry_right;
@@ -167,12 +168,12 @@ std::vector<RouteEntry> RoutePrinter::Build() {
           next.entry_right = via.right_syntax();
         }
         if (child_node.domain()) {
-          next.domain_suffix = Domainize(child_node.name, node, frame.domain_suffix);
+          next.domain_suffix = Domainize(names.View(child_node.name), node, frame.domain_suffix);
         }
       } else {
         // A real host: splice it into the parent's route.  Under a domain its name is
         // extended with the accumulated domain suffix first.
-        std::string name = Domainize(child_node.name, node, frame.domain_suffix);
+        std::string name = Domainize(names.View(child_node.name), node, frame.domain_suffix);
         char op = node.placeholder() ? frame.entry_op : via.op;
         bool right = node.placeholder() ? frame.entry_right : via.right_syntax();
         next.display_name = name;

@@ -21,6 +21,8 @@ class Auditor {
  public:
   Auditor(const Graph& graph, const AuditOptions& options) : graph_(graph), options_(options) {}
 
+  std::string Name(const Node* node) const { return std::string(graph_.NameOf(node)); }
+
   AuditReport Run() {
     IndexLinks();
     Summarize();
@@ -77,7 +79,7 @@ class Auditor {
       degree_sum += degree;
       if (degree > report_.max_degree) {
         report_.max_degree = degree;
-        report_.max_degree_host = node->name;
+        report_.max_degree_host = Name(node);
       }
     }
     report_.links = graph_.link_count();
@@ -114,7 +116,7 @@ class Auditor {
           files += graph_.files()[static_cast<size_t>(file)];
         }
         Add(AuditSeverity::kSuspicious, "name-collision",
-            std::string(node->name) + ": outgoing links declared by " +
+            Name(node) + ": outgoing links declared by " +
                 std::to_string(declaring_files.size()) + " different files (" + files +
                 "); possibly several machines sharing one name — consider 'private'");
       }
@@ -132,7 +134,7 @@ class Auditor {
         ++report_.one_way_links;
         if (!link->invented()) {
           Add(AuditSeverity::kInfo, "one-way-link",
-              std::string(from->name) + " calls " + to->name + " but " + to->name +
+              Name(from) + " calls " + Name(to) + " but " + Name(to) +
                   " never calls back; the return route must be invented");
         }
         continue;
@@ -146,7 +148,7 @@ class Auditor {
         if (low >= 0 && high > static_cast<Cost>(options_.cost_asymmetry_factor *
                                                  static_cast<double>(std::max<Cost>(low, 1)))) {
           Add(AuditSeverity::kSuspicious, "asymmetric-cost",
-              std::string(from->name) + " <-> " + to->name + ": costs " + std::to_string(a) +
+              Name(from) + " <-> " + Name(to) + ": costs " + std::to_string(a) +
                   " vs " + std::to_string(b) + " differ by more than " +
                   std::to_string(static_cast<int>(options_.cost_asymmetry_factor)) + "x");
         }
@@ -176,7 +178,7 @@ class Auditor {
       if (!has_outbound && !inbound && !has_alias) {
         ++report_.isolated_hosts;
         Add(AuditSeverity::kProblem, "isolated-host",
-            std::string(node->name) + " is declared but connected to nothing");
+            Name(node) + " is declared but connected to nothing");
       } else if (!inbound && !has_alias) {
         ++report_.no_inbound_hosts;
       }
@@ -207,16 +209,16 @@ class Auditor {
       }
       if (!enterable) {
         Add(AuditSeverity::kProblem, "unenterable-net",
-            std::string(node->name) + (node->domain() ? " (domain)" : " (network)") +
+            Name(node) + (node->domain() ? " (domain)" : " (network)") +
                 " has no links into it; its members are unreachable through it");
       } else if (!gateway_ok) {
         Add(AuditSeverity::kProblem, "gatewayless-net",
-            std::string(node->name) +
+            Name(node) +
                 " requires explicit gateways but none of its inbound links is one");
       }
       if (!has_member) {
         Add(AuditSeverity::kSuspicious, "empty-net",
-            std::string(node->name) + (node->domain() ? " (domain)" : " (network)") +
+            Name(node) + (node->domain() ? " (domain)" : " (network)") +
                 " has no members");
       }
     }
@@ -235,7 +237,7 @@ class Auditor {
       }
       if (still_referenced >= 2) {
         Add(AuditSeverity::kInfo, "dead-but-popular",
-            std::string(node->name) + " is declared " +
+            Name(node) + " is declared " +
                 (node->deleted() ? "deleted" : "dead") + " yet " +
                 std::to_string(still_referenced) +
                 " links still point at it; neighbor data may be stale");

@@ -67,13 +67,13 @@ class ExprParser {
     while (left) {
       if (Eat('+')) {
         if (auto right = ParseTerm()) {
-          left = Check(*left + *right);
+          left = CheckedApply(*left, *right, '+');
         } else {
           return std::nullopt;
         }
       } else if (Eat('-')) {
         if (auto right = ParseTerm()) {
-          left = Check(*left - *right);
+          left = CheckedApply(*left, *right, '-');
         } else {
           return std::nullopt;
         }
@@ -89,7 +89,7 @@ class ExprParser {
     while (left) {
       if (Eat('*')) {
         if (auto right = ParseUnary()) {
-          left = Check(*left * *right);
+          left = CheckedApply(*left, *right, '*');
         } else {
           return std::nullopt;
         }
@@ -177,6 +177,29 @@ class ExprParser {
       return std::nullopt;
     }
     return value;
+  }
+
+  // Overflow-checked arithmetic: operands within kExprLimit can still overflow the
+  // underlying int64 (e.g. 1e12 * 1e12), which would be UB before Check ever saw it.
+  std::optional<Cost> CheckedApply(Cost a, Cost b, char op) {
+    Cost out = 0;
+    bool overflow = false;
+    switch (op) {
+      case '+':
+        overflow = __builtin_add_overflow(a, b, &out);
+        break;
+      case '-':
+        overflow = __builtin_sub_overflow(a, b, &out);
+        break;
+      default:
+        overflow = __builtin_mul_overflow(a, b, &out);
+        break;
+    }
+    if (overflow) {
+      Fail("cost expression overflow");
+      return std::nullopt;
+    }
+    return Check(out);
   }
 
   std::string_view text_;

@@ -1,20 +1,19 @@
 #include "src/graph/graph.h"
 
-#include <cctype>
-
 namespace pathalias {
-namespace {
-
-std::string Describe(const Node* from, const Node* to) {
-  return std::string(from->name) + "!" + to->name;
-}
-
-}  // namespace
 
 Graph::Graph(Diagnostics* diag) : Graph(diag, Options()) {}
 
 Graph::Graph(Diagnostics* diag, Options options)
-    : diag_(diag), options_(options), table_(&arena_, /*initial_capacity=*/61) {}
+    : diag_(diag),
+      options_(options),
+      names_(&arena_, NameInterner::Options{.fold_case = options.ignore_case,
+                                            .suffix_chains = true,
+                                            .initial_capacity = 61}) {}
+
+std::string Graph::Describe(const Node* from, const Node* to) const {
+  return std::string(NameOf(from)) + "!" + std::string(NameOf(to));
+}
 
 int Graph::BeginFile(std::string_view file_name) {
   files_.emplace_back(file_name);
@@ -24,22 +23,11 @@ int Graph::BeginFile(std::string_view file_name) {
 
 void Graph::EndFile() { current_file_ = -1; }
 
-std::string_view Graph::Fold(std::string_view name, std::string& storage) const {
-  if (!options_.ignore_case) {
-    return name;
-  }
-  storage.assign(name);
-  for (char& c : storage) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
-  return storage;
-}
-
-Node* Graph::CreateNode(std::string_view name, bool is_private) {
+Node* Graph::CreateNode(NameId id, bool is_private) {
   Node* node = arena_.New<Node>();
-  node->name = arena_.InternString(name);
+  node->name = id;
   node->order = static_cast<int32_t>(nodes_.size());
-  if (IsDomainName(name)) {
+  if (IsDomainName(names_.View(id))) {
     // Domains are placeholders and always require gateways (paper §Gatewayed networks:
     // "domains and subdomains are assumed to require gateways").
     node->flags |= kNodeDomain | kNodeGatewayed;
@@ -50,20 +38,18 @@ Node* Graph::CreateNode(std::string_view name, bool is_private) {
   }
   nodes_.push_back(node);
 
-  if (table_.stolen()) {
-    return node;  // findable via the linear-scan path only
+  if (id >= by_name_.size()) {
+    by_name_.resize(names_.size(), nullptr);
   }
-  Node** chain = table_.Find(name);
+  Node*& chain = by_name_[id];
   if (chain == nullptr) {
-    table_.Insert(node->name, node);
-    return node;
-  }
-  if (is_private) {
+    chain = node;
+  } else if (is_private) {
     // Private nodes shadow at the head; the global (if any) stays at the tail.
-    node->shadow = *chain;
-    *chain = node;
+    node->shadow = chain;
+    chain = node;
   } else {
-    Node* tail = *chain;
+    Node* tail = chain;
     while (tail->shadow != nullptr) {
       tail = tail->shadow;
     }
@@ -72,22 +58,8 @@ Node* Graph::CreateNode(std::string_view name, bool is_private) {
   return node;
 }
 
-Node* Graph::Find(std::string_view name) {
-  std::string folded;
-  name = Fold(name, folded);
-  if (table_.stolen()) {
-    // The mapper adopted the hash table's storage for its heap (paper §Calculating
-    // shortest paths).  Post-mapping lookups are rare (tests, tools, resolvers), so a
-    // linear scan honoring the same visibility rules suffices.
-    for (Node* node : nodes_) {
-      if (name == node->name_view() && Visible(node)) {
-        return node;
-      }
-    }
-    return nullptr;
-  }
-  Node** chain = table_.Find(name);
-  for (Node* node = chain ? *chain : nullptr; node != nullptr; node = node->shadow) {
+Node* Graph::Find(NameId id) {
+  for (Node* node = ChainHead(id); node != nullptr; node = node->shadow) {
     if (Visible(node)) {
       return node;
     }
@@ -95,19 +67,24 @@ Node* Graph::Find(std::string_view name) {
   return nullptr;
 }
 
-Node* Graph::Intern(std::string_view name) {
-  std::string folded;
-  name = Fold(name, folded);
-  if (Node* existing = Find(name)) {
+Node* Graph::Find(std::string_view name) {
+  NameId id = names_.Find(name);
+  return id == kNoName ? nullptr : Find(id);
+}
+
+Node* Graph::Intern(NameId id) {
+  if (Node* existing = Find(id)) {
     return existing;
   }
-  return CreateNode(name, /*is_private=*/false);
+  return CreateNode(id, /*is_private=*/false);
 }
+
+Node* Graph::Intern(std::string_view name) { return Intern(names_.Intern(name)); }
 
 Link* Graph::AddLink(Node* from, Node* to, Cost cost, char op, bool right_syntax,
                      SourcePos pos, uint32_t extra_flags) {
   if (from == to) {
-    diag_->Warn(pos, "link from " + std::string(from->name) + " to itself ignored");
+    diag_->Warn(pos, "link from " + std::string(NameOf(from)) + " to itself ignored");
     return nullptr;
   }
   if (cost < 0) {
@@ -163,7 +140,7 @@ Link* Graph::AddLink(Node* from, Node* to, Cost cost, char op, bool right_syntax
 
 void Graph::AddAlias(Node* a, Node* b, SourcePos pos) {
   if (a == b) {
-    diag_->Warn(pos, "alias of " + std::string(a->name) + " to itself ignored");
+    diag_->Warn(pos, "alias of " + std::string(NameOf(a)) + " to itself ignored");
     return;
   }
   for (Link* link = a->links; link != nullptr; link = link->next) {
@@ -196,7 +173,7 @@ Node* Graph::DeclareNet(Node* net, const std::vector<Node*>& members, Cost cost,
   }
   for (Node* member : members) {
     if (member == net) {
-      diag_->Warn(pos, "network " + std::string(net->name) + " lists itself as a member");
+      diag_->Warn(pos, "network " + std::string(NameOf(net)) + " lists itself as a member");
       continue;
     }
     // "the weight applies only to the edges originating at network members; the weight
@@ -207,17 +184,18 @@ Node* Graph::DeclareNet(Node* net, const std::vector<Node*>& members, Cost cost,
   return net;
 }
 
-void Graph::DeclarePrivate(std::string_view name, SourcePos pos) {
-  std::string folded;
-  name = Fold(name, folded);
-  Node** chain = table_.Find(name);
-  for (Node* node = chain ? *chain : nullptr; node != nullptr; node = node->shadow) {
+void Graph::DeclarePrivate(NameId id, SourcePos pos) {
+  for (Node* node = ChainHead(id); node != nullptr; node = node->shadow) {
     if (node->is_private() && node->private_file == current_file_) {
-      diag_->Warn(pos, "host " + std::string(name) + " is already private in this file");
+      diag_->Warn(pos, "host " + std::string(NameOf(id)) + " is already private in this file");
       return;
     }
   }
-  CreateNode(name, /*is_private=*/true);
+  CreateNode(id, /*is_private=*/true);
+}
+
+void Graph::DeclarePrivate(std::string_view name, SourcePos pos) {
+  DeclarePrivate(names_.Intern(name), pos);
 }
 
 void Graph::MarkDeadHost(Node* host, SourcePos pos) {
@@ -260,8 +238,8 @@ void Graph::MarkGatewayLink(Node* net, Node* gateway, SourcePos pos) {
       return;
     }
   }
-  diag_->Note(pos, "gateway " + std::string(gateway->name) + " had no declared link into " +
-                       net->name + "; creating one at zero cost");
+  diag_->Note(pos, "gateway " + std::string(NameOf(gateway)) + " had no declared link into " +
+                       std::string(NameOf(net)) + "; creating one at zero cost");
   AddLink(gateway, net, 0, kDefaultOp, /*right_syntax=*/false, pos, kLinkGateway);
 }
 

@@ -1,10 +1,10 @@
 // The in-memory connectivity graph (paper §Data structures).
 //
-// Owns the arena every Node/Link/name lives in, the host-name hash table, and the
-// semantic rules the input language needs:
+// Owns the arena every Node/Link lives in, the name interner every NameId resolves
+// through, and the semantic rules the input language needs:
 //   * private-name scoping — identically named hosts in different files stay distinct
-//     (paper §Host name collisions), implemented as shadow chains hanging off the hash
-//     table entry rather than by deletion (the table has no erase);
+//     (paper §Host name collisions), implemented as shadow chains hanging off the
+//     NameId-indexed node vector rather than by deletion;
 //   * duplicate-link resolution — the same link declared twice keeps the cheaper cost
 //     [R: the paper notes file boundaries matter here but not the rule; cheapest-wins
 //     with a warning on conflicting same-file declarations is our reconstruction];
@@ -27,7 +27,7 @@
 #include "src/graph/node.h"
 #include "src/support/arena.h"
 #include "src/support/diag.h"
-#include "src/support/hash_table.h"
+#include "src/support/interner.h"
 
 namespace pathalias {
 
@@ -51,13 +51,29 @@ class Graph {
   const std::vector<std::string>& files() const { return files_; }
   int current_file() const { return current_file_; }
 
+  // --- names ---
+
+  // Interns a name (case-normalized per Options) without creating a node.  This is the
+  // tokenization entry point: every name the parser sees passes through here once, and
+  // all later layers reuse the returned id.
+  NameId InternName(std::string_view name) { return names_.Intern(name); }
+
+  // Resolves a node's (or any interned) name.  O(1); the interner owns the bytes.
+  std::string_view NameOf(const Node* node) const { return names_.View(node->name); }
+  std::string_view NameOf(NameId id) const { return names_.View(id); }
+
+  NameInterner& names() { return names_; }
+  const NameInterner& names() const { return names_; }
+
   // --- node and link construction ---
 
   // Finds the visible node named `name`, creating a global one if absent.
   Node* Intern(std::string_view name);
+  Node* Intern(NameId id);
 
   // Finds the visible node named `name`; nullptr if none exists.
   Node* Find(std::string_view name);
+  Node* Find(NameId id);
 
   // Adds a directed edge.  Returns the link (a pre-existing one if this declaration
   // duplicates it), or nullptr for a rejected self-link.
@@ -73,6 +89,7 @@ class Graph {
 
   // --- keyword declarations ---
 
+  void DeclarePrivate(NameId id, SourcePos pos);
   void DeclarePrivate(std::string_view name, SourcePos pos);
   void MarkDeadHost(Node* host, SourcePos pos);
   void MarkDeadLink(Node* from, Node* to, SourcePos pos);
@@ -98,20 +115,24 @@ class Graph {
 
   Arena& arena() { return arena_; }
   Diagnostics& diag() { return *diag_; }
-  HashTable<Node*>& table() { return table_; }
 
  private:
-  Node* CreateNode(std::string_view name, bool is_private);
+  Node* CreateNode(NameId id, bool is_private);
+  std::string Describe(const Node* from, const Node* to) const;
   bool Visible(const Node* node) const {
     return !node->is_private() || node->private_file == current_file_;
   }
-  // Case-folded copy when ignore_case is set; otherwise `name` itself.
-  std::string_view Fold(std::string_view name, std::string& storage) const;
+  // Shadow-chain head for `id`, or nullptr.  The id-indexed vector replaces the old
+  // name-keyed hash table: the interner did the only string hash at tokenization.
+  Node* ChainHead(NameId id) const {
+    return id < by_name_.size() ? by_name_[id] : nullptr;
+  }
 
   Diagnostics* diag_;
   Options options_;
   Arena arena_;
-  HashTable<Node*> table_;
+  NameInterner names_;
+  std::vector<Node*> by_name_;  // NameId -> shadow-chain head (private first)
   std::vector<Node*> nodes_;
   std::vector<std::string> files_;
   size_t link_count_ = 0;

@@ -13,6 +13,7 @@
 
 #include "src/graph/cost.h"
 #include "src/graph/link.h"
+#include "src/support/interner.h"
 
 namespace pathalias {
 
@@ -34,8 +35,8 @@ enum NodeFlag : uint32_t {
 };
 
 struct Node {
-  const char* name = nullptr;  // interned in the graph's arena
-  Link* links = nullptr;       // adjacency list head (declaration order)
+  NameId name = kNoName;  // handle into the graph's interner, which owns the string
+  Link* links = nullptr;  // adjacency list head (declaration order)
   Link* links_tail = nullptr;
   Node* shadow = nullptr;  // next node with the same name (private-name chain)
 
@@ -63,8 +64,6 @@ struct Node {
   bool local() const { return (flags & kNodeLocal) != 0; }
   bool traced() const { return (flags & kNodeTraced) != 0; }
   bool mapped() const { return cost != kUnreached; }
-
-  std::string_view name_view() const { return name; }
 };
 
 // Whether a declared name denotes a domain.

@@ -48,7 +48,14 @@ int Parser::ParseFiles(const std::vector<InputFile>& files) {
   return total;
 }
 
-void Parser::Advance() { token_ = scanner_->Next(); }
+void Parser::Advance() {
+  token_ = scanner_->Next();
+  if (token_.kind == TokenKind::kName) {
+    // Intern at tokenization: this is the single point where a name's bytes are hashed
+    // and copied.  Everything downstream — graph, mapper, printer — handles the id.
+    token_.id = graph_->InternName(token_.text);
+  }
+}
 
 SourcePos Parser::Here() const { return SourcePos{file_name_, token_.line}; }
 
@@ -92,9 +99,9 @@ void Parser::ParseLine() {
 }
 
 void Parser::ParseHostDeclaration(Token name) {
-  Node* from = graph_->Intern(name.text);
-  if (first_host_.empty() && !IsDomainName(name.text)) {
-    first_host_ = std::string(name.text);
+  Node* from = graph_->Intern(name.id);
+  if (first_host_ == kNoName && !IsDomainName(name.text)) {
+    first_host_ = name.id;
   }
   if (At(TokenKind::kNewline) || At(TokenKind::kEnd)) {
     ++accepted_;  // a bare host declaration: known but unconnected
@@ -106,7 +113,7 @@ void Parser::ParseHostDeclaration(Token name) {
       SyncToNewline();
       return;
     }
-    Node* to = graph_->Intern(spec.name);
+    Node* to = graph_->Intern(spec.id);
     graph_->AddLink(from, to, spec.cost, spec.op, spec.right, Here());
     if (At(TokenKind::kComma)) {
       Advance();
@@ -141,6 +148,7 @@ Parser::LinkSpec Parser::ParseLinkSpec() {
     return spec;
   }
   spec.name = token_.text;
+  spec.id = token_.id;
   Advance();
   if (At(TokenKind::kOp)) {
     if (leading_op) {
@@ -205,7 +213,7 @@ void Parser::ParseEqualsDeclaration(Token name) {
         bad = true;
         break;
       }
-      members.push_back(graph_->Intern(token_.text));
+      members.push_back(graph_->Intern(token_.id));
       Advance();
       if (At(TokenKind::kComma)) {
         Advance();
@@ -222,7 +230,7 @@ void Parser::ParseEqualsDeclaration(Token name) {
       Advance();
     }
     Cost cost = ParseOptionalCost(kDefaultCost);
-    Node* net = graph_->Intern(name.text);
+    Node* net = graph_->Intern(name.id);
     graph_->DeclareNet(net, members, cost, op, right, Here());
     ++accepted_;
     return;
@@ -234,7 +242,7 @@ void Parser::ParseEqualsDeclaration(Token name) {
   }
   if (At(TokenKind::kName)) {
     // name = other: the two names refer to the same machine.
-    graph_->AddAlias(graph_->Intern(name.text), graph_->Intern(token_.text), Here());
+    graph_->AddAlias(graph_->Intern(name.id), graph_->Intern(token_.id), Here());
     Advance();
     ++accepted_;
     return;
@@ -270,7 +278,7 @@ bool Parser::ParseKeywordDeclaration(const Token& name) {
 
 void Parser::ParsePrivateBody() {
   while (At(TokenKind::kName)) {
-    graph_->DeclarePrivate(token_.text, Here());
+    graph_->DeclarePrivate(token_.id, Here());
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();
@@ -289,10 +297,10 @@ void Parser::ParseDeadBody() {
         ErrorHere("expected a host name after '!' in dead link");
         return;
       }
-      graph_->MarkDeadLink(graph_->Intern(first.text), graph_->Intern(token_.text), Here());
+      graph_->MarkDeadLink(graph_->Intern(first.id), graph_->Intern(token_.id), Here());
       Advance();
     } else {
-      graph_->MarkDeadHost(graph_->Intern(first.text), Here());
+      graph_->MarkDeadHost(graph_->Intern(first.id), Here());
     }
     if (At(TokenKind::kComma)) {
       Advance();
@@ -303,7 +311,7 @@ void Parser::ParseDeadBody() {
 
 void Parser::ParseDeleteBody() {
   while (At(TokenKind::kName)) {
-    graph_->DeleteHost(graph_->Intern(token_.text), Here());
+    graph_->DeleteHost(graph_->Intern(token_.id), Here());
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();
@@ -314,7 +322,7 @@ void Parser::ParseDeleteBody() {
 
 void Parser::ParseAdjustBody() {
   while (At(TokenKind::kName)) {
-    Node* host = graph_->Intern(token_.text);
+    Node* host = graph_->Intern(token_.id);
     Advance();
     bool had_cost = false;
     Cost amount = ParseOptionalCost(0, &had_cost);
@@ -332,7 +340,7 @@ void Parser::ParseAdjustBody() {
 
 void Parser::ParseGatewayedBody() {
   while (At(TokenKind::kName)) {
-    graph_->MarkGatewayed(graph_->Intern(token_.text), Here());
+    graph_->MarkGatewayed(graph_->Intern(token_.id), Here());
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();
@@ -354,7 +362,7 @@ void Parser::ParseGatewayBody() {
       ErrorHere("expected a gateway host name after '!'");
       return;
     }
-    graph_->MarkGatewayLink(graph_->Intern(net.text), graph_->Intern(token_.text), Here());
+    graph_->MarkGatewayLink(graph_->Intern(net.id), graph_->Intern(token_.id), Here());
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();

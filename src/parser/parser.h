@@ -41,12 +41,15 @@ class Parser {
   int ParseFiles(const std::vector<InputFile>& files);
 
   // First host declared across all parsed files: the default local host when the
-  // caller provides none [R].
-  std::string_view first_host() const { return first_host_; }
+  // caller provides none [R].  Resolves through the graph's interner.
+  std::string_view first_host() const {
+    return first_host_ == kNoName ? std::string_view() : graph_->NameOf(first_host_);
+  }
 
  private:
   struct LinkSpec {
     std::string_view name;
+    NameId id = kNoName;
     char op = kDefaultOp;
     bool right = false;
     Cost cost = kDefaultCost;
@@ -81,7 +84,7 @@ class Parser {
   Scanner* scanner_ = nullptr;
   std::string file_name_;
   Token token_;
-  std::string first_host_;
+  NameId first_host_ = kNoName;
   int accepted_ = 0;
 };
 

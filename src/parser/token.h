@@ -6,6 +6,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "src/support/interner.h"
+
 namespace pathalias {
 
 enum class TokenKind : uint8_t {
@@ -27,6 +29,7 @@ struct Token {
   std::string_view text;  // name text, or the single punctuation character
   int line = 0;           // 1-based
   char op = 0;            // for kOp: the operator character
+  NameId id = kNoName;    // for kName: interned id (filled by the parser's Advance)
 };
 
 // Characters legal in host/net/domain names.  UUCP names use letters, digits and a few

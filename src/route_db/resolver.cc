@@ -1,5 +1,7 @@
 #include "src/route_db/resolver.h"
 
+#include <cassert>
+
 #include <unordered_set>
 
 #include "src/core/route_printer.h"
@@ -31,22 +33,67 @@ std::string TailArgument(const std::vector<std::string>& path, size_t first,
 
 }  // namespace
 
-const Route* Resolver::Lookup(std::string_view host, std::string* matched_key) const {
-  if (const Route* route = routes_->Find(host)) {
-    *matched_key = std::string(host);
-    return route;
-  }
-  // Successive domain suffixes: caip.rutgers.edu → .rutgers.edu → .edu.
-  size_t dot = host.find('.');
-  while (dot != std::string_view::npos) {
-    std::string_view suffix = host.substr(dot);  // includes the leading '.'
-    if (const Route* route = routes_->Find(suffix)) {
-      *matched_key = std::string(suffix);
+const Route* Resolver::LookupId(std::string_view host, NameId* via) const {
+  const NameInterner& names = routes_->names();
+  NameId id = names.Find(host);
+  if (id != kNoName) {
+    // The query is a known name: the exact probe and the entire domain-suffix walk
+    // (caip.rutgers.edu → .rutgers.edu → .edu) are integer chases from here on.
+    if (const Route* route = routes_->Find(id)) {
+      *via = id;
       return route;
+    }
+    for (NameId suffix = names.Suffix(id); suffix != kNoName; suffix = names.Suffix(suffix)) {
+      if (const Route* route = routes_->Find(suffix)) {
+        *via = suffix;
+        return route;
+      }
+    }
+    return nullptr;
+  }
+  // A stranger: probe its dotted suffixes until one is interned.  Interning any dotted
+  // name interns its whole chain, so the first hit's chain covers every shorter suffix.
+  size_t dot = host.find('.', 1);
+  while (dot != std::string_view::npos) {
+    NameId suffix = names.Find(host.substr(dot));  // includes the leading '.'
+    if (suffix != kNoName) {
+      for (; suffix != kNoName; suffix = names.Suffix(suffix)) {
+        if (const Route* route = routes_->Find(suffix)) {
+          *via = suffix;
+          return route;
+        }
+      }
+      return nullptr;
     }
     dot = host.find('.', dot + 1);
   }
   return nullptr;
+}
+
+const Route* Resolver::Lookup(std::string_view host, std::string_view* matched_key) const {
+  NameId via = kNoName;
+  const Route* route = LookupId(host, &via);
+  if (route != nullptr) {
+    *matched_key = routes_->names().View(via);
+  }
+  return route;
+}
+
+size_t Resolver::ResolveBatch(std::span<const std::string_view> hosts,
+                              std::span<BatchLookup> results) const {
+  assert(results.size() >= hosts.size());
+  size_t resolved = 0;
+  size_t count = hosts.size();
+  for (size_t i = 0; i < count; ++i) {
+    BatchLookup& out = results[i];
+    out = BatchLookup{};
+    out.route = LookupId(hosts[i], &out.via);
+    if (out.route != nullptr) {
+      out.suffix_match = routes_->names().View(out.via) != hosts[i];
+      ++resolved;
+    }
+  }
+  return resolved;
 }
 
 Resolution Resolver::Resolve(std::string_view destination) const {
@@ -68,7 +115,7 @@ Resolution Resolver::Resolve(std::string_view destination) const {
   size_t target_index = 0;
   if (options_.optimize == ResolveOptions::Optimize::kRightmostKnown &&
       !(options_.preserve_loops && HasRepeatedHost(address.path))) {
-    std::string key;
+    std::string_view key;
     for (size_t i = address.path.size(); i-- > 0;) {
       if (Lookup(address.path[i], &key) != nullptr) {
         target_index = i;
@@ -80,7 +127,7 @@ Resolution Resolver::Resolve(std::string_view destination) const {
   const std::string& target = address.path[target_index];
   std::string argument = TailArgument(address.path, target_index + 1, address.user);
 
-  std::string matched;
+  std::string_view matched;
   const Route* route = Lookup(target, &matched);
   if (route == nullptr) {
     resolution.error = "no route to " + target;
@@ -92,7 +139,7 @@ Resolution Resolver::Resolve(std::string_view destination) const {
     argument = target + "!" + argument;
   }
   resolution.ok = true;
-  resolution.via = matched;
+  resolution.via = std::string(matched);
   resolution.argument = argument;
   resolution.route = RoutePrinter::SpliceUser(route->route, argument);
   return resolution;

@@ -16,6 +16,7 @@
 #ifndef SRC_ROUTE_DB_RESOLVER_H_
 #define SRC_ROUTE_DB_RESOLVER_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 
@@ -46,6 +47,14 @@ struct Resolution {
   std::string error;     // set iff !ok
 };
 
+// One batch lookup outcome: handles and pointers into the RouteSet only, no owned
+// strings — back-resolve via RouteSet::names() when formatting.
+struct BatchLookup {
+  const Route* route = nullptr;  // nullptr: no route known
+  NameId via = kNoName;          // database key that matched (host or domain suffix)
+  bool suffix_match = false;     // a domain suffix hit: prepend the host to the argument
+};
+
 class Resolver {
  public:
   Resolver(const RouteSet* routes, ResolveOptions options)
@@ -55,10 +64,22 @@ class Resolver {
 
   // The paper's lookup: exact host name, then successive domain suffixes, longest
   // first.  On a suffix match the caller must prepend the full host name to the
-  // argument.  `matched_key` receives the database key that hit.
-  const Route* Lookup(std::string_view host, std::string* matched_key) const;
+  // argument.  `matched_key` receives the database key that hit — always a view into
+  // the RouteSet's interner (alive as long as the RouteSet), never an allocation.
+  const Route* Lookup(std::string_view host, std::string_view* matched_key) const;
+
+  // Bulk form of Lookup for mailer delivery scans: resolves hosts[i] into results[i]
+  // and returns the number that matched.  `results` must hold at least hosts.size()
+  // entries (asserted).  The domain-suffix walk rides the interner's precomputed
+  // suffix chains — after the single hash that locates the query name, misses and
+  // domain fallbacks are id-chasing with zero per-query allocations.
+  size_t ResolveBatch(std::span<const std::string_view> hosts,
+                      std::span<BatchLookup> results) const;
 
  private:
+  // Core walk shared by Lookup and ResolveBatch; fills `via` on a hit.
+  const Route* LookupId(std::string_view host, NameId* via) const;
+
   const RouteSet* routes_;
   ResolveOptions options_;
 };

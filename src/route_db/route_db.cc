@@ -34,14 +34,18 @@ std::vector<std::string_view> SplitTabs(std::string_view line) {
 }  // namespace
 
 void RouteSet::Add(std::string_view name, std::string_view route, Cost cost) {
-  auto it = index_.find(std::string(name));
-  if (it != index_.end()) {
-    routes_[it->second].route = std::string(route);
-    routes_[it->second].cost = cost;
+  NameId id = names_.Intern(name);
+  if (by_name_.size() < names_.size()) {
+    by_name_.resize(names_.size(), 0);
+  }
+  uint32_t& slot = by_name_[id];
+  if (slot != 0) {
+    routes_[slot - 1].route = std::string(route);
+    routes_[slot - 1].cost = cost;
     return;
   }
-  index_.emplace(std::string(name), routes_.size());
-  routes_.push_back(Route{std::string(name), std::string(route), cost});
+  routes_.push_back(Route{id, std::string(route), cost});
+  slot = static_cast<uint32_t>(routes_.size());
 }
 
 RouteSet RouteSet::FromEntries(const std::vector<RouteEntry>& entries) {
@@ -93,7 +97,7 @@ std::string RouteSet::ToText(bool include_costs) const {
       out += std::to_string(route.cost);
       out += '\t';
     }
-    out += route.name;
+    out += NameOf(route);
     out += '\t';
     out += route.route;
     out += '\n';
@@ -110,7 +114,7 @@ std::string RouteSet::ToCdbBuffer() const {
     } else {
       value = route.route;
     }
-    writer.Put(route.name, value);
+    writer.Put(NameOf(route), value);
   }
   return writer.WriteBuffer();
 }
@@ -140,7 +144,7 @@ bool RouteSet::WriteCdbFile(const std::string& path) const {
   for (const Route& route : routes_) {
     std::string value =
         route.cost >= 0 ? std::to_string(route.cost) + "\t" + route.route : route.route;
-    writer.Put(route.name, value);
+    writer.Put(NameOf(route), value);
   }
   return writer.WriteFile(path);
 }
@@ -166,8 +170,8 @@ std::optional<RouteSet> RouteSet::OpenCdbFile(const std::string& path) {
 }
 
 const Route* RouteSet::Find(std::string_view name) const {
-  auto it = index_.find(std::string(name));
-  return it == index_.end() ? nullptr : &routes_[it->second];
+  NameId id = names_.Find(name);
+  return id == kNoName ? nullptr : Find(id);
 }
 
 }  // namespace pathalias

@@ -13,19 +13,19 @@
 #include <optional>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/route_printer.h"
 #include "src/graph/cost.h"
 #include "src/support/diag.h"
+#include "src/support/interner.h"
 
 namespace pathalias {
 
 struct Route {
-  std::string name;
-  std::string route;  // printf format string with one %s
-  Cost cost = -1;     // -1: unknown (the file had no cost column)
+  NameId name = kNoName;  // key handle; the RouteSet's interner owns the bytes
+  std::string route;      // printf format string with one %s
+  Cost cost = -1;         // -1: unknown (the file had no cost column)
 };
 
 class RouteSet {
@@ -49,16 +49,25 @@ class RouteSet {
   bool WriteCdbFile(const std::string& path) const;
   static std::optional<RouteSet> OpenCdbFile(const std::string& path);
 
-  // Exact-name lookup; nullptr if absent.
+  // Exact-name lookup; nullptr if absent.  The string_view form hashes once against
+  // the interner; the NameId form is a pure array index (the Resolver's batch path).
   const Route* Find(std::string_view name) const;
+  const Route* Find(NameId id) const {
+    return id < by_name_.size() && by_name_[id] != 0 ? &routes_[by_name_[id] - 1] : nullptr;
+  }
+
+  // The interner every route key (and its precomputed domain-suffix chain) lives in.
+  const NameInterner& names() const { return names_; }
+  std::string_view NameOf(const Route& route) const { return names_.View(route.name); }
 
   const std::vector<Route>& routes() const { return routes_; }
   size_t size() const { return routes_.size(); }
   bool empty() const { return routes_.empty(); }
 
  private:
+  NameInterner names_;
   std::vector<Route> routes_;
-  std::unordered_map<std::string, size_t> index_;
+  std::vector<uint32_t> by_name_;  // NameId -> route index + 1 (0 = no route)
 };
 
 }  // namespace pathalias

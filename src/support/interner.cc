@@ -1,0 +1,201 @@
+#include "src/support/interner.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace pathalias {
+namespace {
+
+inline char FoldChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+}  // namespace
+
+NameInterner::NameInterner() : NameInterner(Options{}) {}
+
+NameInterner::NameInterner(Options options)
+    : owned_arena_(std::make_unique<Arena>()), arena_(owned_arena_.get()), options_(options) {
+  if (options_.initial_capacity > 0) {
+    Rehash(NextPrime(options_.initial_capacity < 5 ? 5 : options_.initial_capacity));
+    stats_.rehashes = 0;  // initial sizing is not a growth event
+  }
+}
+
+NameInterner::NameInterner(Arena* arena, Options options) : arena_(arena), options_(options) {
+  if (options_.initial_capacity > 0) {
+    Rehash(NextPrime(options_.initial_capacity < 5 ? 5 : options_.initial_capacity));
+    stats_.rehashes = 0;
+  }
+}
+
+uint64_t NameInterner::HashName(std::string_view name) const {
+  // The paper's bit-level shift/xor key, folded to match the stored normalization.
+  uint64_t k = 0x5061746841ull;
+  if (options_.fold_case) {
+    for (char c : name) {
+      k ^= static_cast<unsigned char>(FoldChar(c));
+      k ^= k << 13;
+      k ^= k >> 7;
+      k ^= k << 17;
+    }
+  } else {
+    for (unsigned char c : name) {
+      k ^= c;
+      k ^= k << 13;
+      k ^= k >> 7;
+      k ^= k << 17;
+    }
+  }
+  return k;
+}
+
+bool NameInterner::Equal(const Entry& entry, std::string_view name) const {
+  if (entry.length != name.size()) {
+    return false;
+  }
+  if (!options_.fold_case) {
+    return std::memcmp(entry.chars, name.data(), name.size()) == 0;
+  }
+  for (uint32_t i = 0; i < entry.length; ++i) {
+    if (entry.chars[i] != FoldChar(name[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t NameInterner::ProbeFor(std::string_view name, uint64_t k) const {
+  uint64_t index = k % capacity_;
+  // The paper's secondary hash: T-2-(k mod T-2), range [1, T-2].
+  uint64_t stride = capacity_ - 2 - (k % (capacity_ - 2));
+  const uint32_t hash32 = static_cast<uint32_t>(k);
+  for (;;) {
+    ++stats_.probes;
+    const Slot& slot = slots_[index];
+    if (slot.id == kNoName || (slot.hash == hash32 && Equal(entries_[slot.id], name))) {
+      return index;
+    }
+    index += stride;
+    if (index >= capacity_) {
+      index -= capacity_;
+    }
+  }
+}
+
+void NameInterner::Rehash(uint64_t new_capacity) {
+  assert(new_capacity > entries_.size() && new_capacity >= 5);
+  Slot* old_slots = slots_;
+  uint64_t old_capacity = capacity_;
+  slots_ = arena_->NewArray<Slot>(new_capacity);
+  for (uint64_t i = 0; i < new_capacity; ++i) {
+    slots_[i] = Slot{kNoName, 0};
+  }
+  capacity_ = new_capacity;
+  ++stats_.rehashes;
+  // Reinsert by cached hash: id stability means no string is ever re-hashed or
+  // re-compared during growth (slots carry their full probe identity).
+  for (uint64_t i = 0; i < old_capacity; ++i) {
+    if (old_slots[i].id == kNoName) {
+      continue;
+    }
+    uint64_t k = entries_[old_slots[i].id].hash;
+    uint64_t index = k % capacity_;
+    uint64_t stride = capacity_ - 2 - (k % (capacity_ - 2));
+    while (slots_[index].id != kNoName) {
+      index += stride;
+      if (index >= capacity_) {
+        index -= capacity_;
+      }
+    }
+    slots_[index] = old_slots[i];
+  }
+  if (old_slots != nullptr) {
+    // "they are placed on a list and made available to our memory allocator"
+    arena_->Donate(old_slots, old_capacity * sizeof(Slot));
+  }
+}
+
+NameId NameInterner::LinearFind(std::string_view name) const {
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    if (Equal(entries_[id], name)) {
+      return static_cast<NameId>(id);
+    }
+  }
+  return kNoName;
+}
+
+NameId NameInterner::Find(std::string_view name) const {
+  ++stats_.accesses;
+  if (stolen_) {
+    return LinearFind(name);
+  }
+  if (capacity_ == 0) {
+    return kNoName;
+  }
+  uint64_t index = ProbeFor(name, HashName(name));
+  return slots_[index].id;  // kNoName when the probe stopped at an empty slot
+}
+
+NameId NameInterner::Intern(std::string_view name) {
+  ++stats_.accesses;
+  // One hash per intern: HashName folds exactly like the stored copy, so `k` is also
+  // the normalized entry's probe hash below.
+  uint64_t k = HashName(name);
+  if (stolen_) {
+    // Degraded mode after the heap stole the table: ids and views still work, new
+    // names append without a probe table.  Rare (post-mapping) by construction.
+    NameId existing = LinearFind(name);
+    if (existing != kNoName) {
+      return existing;
+    }
+  } else {
+    if (capacity_ == 0 || static_cast<double>(entries_.size() + 1) >
+                              kHighWater * static_cast<double>(capacity_)) {
+      Rehash(growth_.NextSize(capacity_ < 5 ? 5 : capacity_));
+    }
+    uint64_t index = ProbeFor(name, k);
+    if (slots_[index].id != kNoName) {
+      return slots_[index].id;
+    }
+    slots_[index] = Slot{static_cast<NameId>(entries_.size()), static_cast<uint32_t>(k)};
+  }
+
+  // Normalized, NUL-terminated copy in the arena; the interner is the one owner.
+  char* chars = static_cast<char*>(arena_->Allocate(name.size() + 1, 1));
+  if (options_.fold_case) {
+    for (size_t i = 0; i < name.size(); ++i) {
+      chars[i] = FoldChar(name[i]);
+    }
+  } else {
+    std::memcpy(chars, name.data(), name.size());
+  }
+  chars[name.size()] = '\0';
+  NameId id = static_cast<NameId>(entries_.size());
+  entries_.push_back(Entry{chars, static_cast<uint32_t>(name.size()), kNoName, k});
+
+  if (options_.suffix_chains) {
+    // Precompute the domain-suffix chain: ".rutgers.edu" for "caip.rutgers.edu", and
+    // so on recursively.  Suffixes are strictly shorter, so this terminates; interning
+    // may rehash, so re-index entries_ after the recursive call.
+    std::string_view stored{chars, name.size()};
+    size_t dot = stored.find('.', 1);
+    if (dot != std::string_view::npos) {
+      NameId suffix = Intern(stored.substr(dot));
+      entries_[id].suffix = suffix;
+    }
+  }
+  return id;
+}
+
+std::pair<void*, size_t> NameInterner::StealTable() {
+  assert(!stolen_);
+  stolen_ = true;
+  void* storage = slots_;
+  size_t bytes = static_cast<size_t>(capacity_) * sizeof(Slot);
+  slots_ = nullptr;
+  capacity_ = 0;
+  return {storage, bytes};
+}
+
+}  // namespace pathalias

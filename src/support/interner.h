@@ -1,0 +1,149 @@
+// Interned symbol table: the one owner of every host/domain name string.
+//
+// The paper spends a whole section on symbol handling because name strings are the
+// dominant cost of mapping.  This module pushes that observation through the entire
+// pipeline: a name is interned exactly once (at tokenization) and every layer above —
+// graph, mapper, route printer, route database, resolver — traffics in dense `NameId`
+// handles.  Whether two names denote the same object collapses to an integer compare;
+// id → string_view back-resolution is O(1) and only happens lazily, at output time.
+//
+// The table is open addressing with double hashing in the style of
+// src/support/hash_table.h (same primary/secondary hashes, same Fibonacci-prime growth,
+// same αH = 0.79 high-water mark), with two additions:
+//   * each slot caches 32 bits of the key's hash, so probe collisions are filtered
+//     without touching the string bytes;
+//   * interning a dotted name precomputes its domain-suffix chain: interning
+//     "caip.rutgers.edu" also interns ".rutgers.edu" and ".edu" and records the links,
+//     so a resolver's suffix walk (paper §Domains lookup order) and the mapper's
+//     up-the-domain-tree test are id-chasing, never substring re-hashing.
+//
+// The paper's retired-table trick is preserved: once parsing is done the probe table
+// can be stolen (StealTable) to hold the shortest-path heap.  Ids, views and suffix
+// chains survive the theft; string → id lookups degrade to a linear scan, which only
+// rare post-mapping probes take.
+
+#ifndef SRC_SUPPORT_INTERNER_H_
+#define SRC_SUPPORT_INTERNER_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/support/arena.h"
+#include "src/support/primes.h"
+
+namespace pathalias {
+
+// Dense handle for an interned name.  Ids are assigned in first-intern order and are
+// stable for the interner's lifetime (rehashing moves slots, never ids).
+using NameId = uint32_t;
+inline constexpr NameId kNoName = std::numeric_limits<uint32_t>::max();
+
+class NameInterner {
+ public:
+  struct Options {
+    bool fold_case = false;      // normalize ASCII upper case away (-i)
+    bool suffix_chains = true;   // precompute domain-suffix chains for dotted names
+    uint64_t initial_capacity = 0;
+  };
+
+  struct Stats {
+    uint64_t accesses = 0;  // Intern/Find calls
+    uint64_t probes = 0;    // slot inspections on their behalf
+    uint64_t rehashes = 0;  // table growths
+  };
+
+  NameInterner();  // owns a private arena
+  explicit NameInterner(Options options);
+  // Shares `arena` (which must outlive the interner); names and tables live there.
+  NameInterner(Arena* arena, Options options);
+
+  NameInterner(NameInterner&&) = default;
+  NameInterner& operator=(NameInterner&&) = default;
+  NameInterner(const NameInterner&) = delete;
+  NameInterner& operator=(const NameInterner&) = delete;
+
+  // Returns the id for `name`, interning (and case-normalizing) it if new.
+  NameId Intern(std::string_view name);
+
+  // Read-only lookup: the id for `name`, or kNoName.  Never allocates.
+  NameId Find(std::string_view name) const;
+
+  // O(1) back-resolution.  The view/pointer is NUL-terminated, case-normalized, and
+  // stable for the interner's lifetime.
+  std::string_view View(NameId id) const {
+    const Entry& entry = entries_[id];
+    return {entry.chars, entry.length};
+  }
+  const char* CStr(NameId id) const { return entries_[id].chars; }
+
+  // The next link of `id`'s precomputed domain-suffix chain: for "caip.rutgers.edu"
+  // that is ".rutgers.edu", then ".edu", then kNoName.
+  NameId Suffix(NameId id) const { return entries_[id].suffix; }
+
+  // True if `id`'s name ends with the dot-prefixed domain `suffix` — an integer walk
+  // of the chain, no byte comparisons.  A name is not a suffix of itself.
+  bool HasSuffix(NameId id, NameId suffix) const {
+    for (NameId s = Suffix(id); s != kNoName; s = Suffix(s)) {
+      if (s == suffix) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  size_t size() const { return entries_.size(); }
+  uint64_t table_capacity() const { return capacity_; }
+  double load_factor() const {
+    return capacity_ == 0 ? 0.0
+                          : static_cast<double>(entries_.size()) / static_cast<double>(capacity_);
+  }
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+  bool stolen() const { return stolen_; }
+  Arena& arena() { return *arena_; }
+
+  // Relinquishes the probe table (the mapper builds the shortest-path heap in it).
+  // Ids, View and Suffix keep working; Find/Intern fall back to a linear scan.
+  std::pair<void*, size_t> StealTable();
+
+  static constexpr double kHighWater = 0.79;
+
+ private:
+  struct Entry {
+    const char* chars;  // NUL-terminated, arena-owned, already case-normalized
+    uint32_t length;
+    NameId suffix;      // domain-suffix chain link, or kNoName
+    uint64_t hash;      // full probe hash; growth reinserts without touching strings
+  };
+
+  // 8-byte slots, 8-aligned so a stolen table can hold a PathLabel* heap directly.
+  struct alignas(8) Slot {
+    NameId id;      // kNoName == empty
+    uint32_t hash;  // cached; filters probes without touching string bytes
+  };
+
+  uint64_t HashName(std::string_view name) const;
+  bool Equal(const Entry& entry, std::string_view name) const;
+  // Index of the slot holding `name` (hash `k`), or of the empty slot where it belongs.
+  uint64_t ProbeFor(std::string_view name, uint64_t k) const;
+  void Rehash(uint64_t new_capacity);
+  NameId LinearFind(std::string_view name) const;
+
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_;
+  Options options_;
+  Slot* slots_ = nullptr;
+  uint64_t capacity_ = 0;
+  std::vector<Entry> entries_;
+  FibonacciPrimes growth_;
+  bool stolen_ = false;
+  mutable Stats stats_;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_INTERNER_H_

@@ -9,11 +9,15 @@
 //   routedb get   <routes.cdb> <host>           print the raw route for a host
 //   routedb resolve <routes.cdb> <address>...   resolve full addresses (domain-suffix
 //                                               lookup, rightmost-known rewriting)
+//   routedb batch <routes.cdb> [hosts.txt]      bulk host lookup, one per line (stdin
+//                                               if no file): "host<TAB>route-key" per
+//                                               hit, "host<TAB>*miss*" per miss
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
@@ -23,8 +27,33 @@ namespace {
 int Usage() {
   std::cerr << "usage: routedb build <routes.txt> <routes.cdb>\n"
                "       routedb get <routes.cdb> <host>\n"
-               "       routedb resolve <routes.cdb> <address>...\n";
+               "       routedb resolve <routes.cdb> <address>...\n"
+               "       routedb batch <routes.cdb> [hosts.txt]\n";
   return 2;
+}
+
+// Bulk delivery scan: the whole list goes through Resolver::ResolveBatch in one call.
+int RunBatch(const pathalias::RouteSet& routes, std::istream& in) {
+  std::vector<std::string> hosts;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) {
+      hosts.push_back(line);
+    }
+  }
+  std::vector<std::string_view> queries(hosts.begin(), hosts.end());
+  std::vector<pathalias::BatchLookup> results(queries.size());
+  pathalias::Resolver resolver(&routes, pathalias::ResolveOptions{});
+  size_t resolved = resolver.ResolveBatch(queries, results);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (results[i].route != nullptr) {
+      std::cout << queries[i] << "\t" << routes.names().View(results[i].via) << "\n";
+    } else {
+      std::cout << queries[i] << "\t*miss*\n";
+    }
+  }
+  std::cerr << "routedb: " << resolved << "/" << queries.size() << " resolved\n";
+  return 0;
 }
 
 }  // namespace
@@ -53,6 +82,25 @@ int main(int argc, char** argv) {
     }
     std::cerr << "routedb: " << routes.size() << " routes written\n";
     return 0;
+  }
+  if (command == "batch") {
+    if (argc != 3 && argc != 4) {
+      return Usage();
+    }
+    auto routes = pathalias::RouteSet::OpenCdbFile(argv[2]);
+    if (!routes) {
+      std::cerr << "routedb: cannot read " << argv[2] << "\n";
+      return 1;
+    }
+    if (argc == 3) {
+      return RunBatch(*routes, std::cin);
+    }
+    std::ifstream in(argv[3]);
+    if (!in) {
+      std::cerr << "routedb: cannot open " << argv[3] << "\n";
+      return 1;
+    }
+    return RunBatch(*routes, in);
   }
   if (command == "get" || command == "resolve") {
     if (argc < 4) {

@@ -198,7 +198,7 @@ TEST(Mapper, BackLinksCanBeDisabled) {
   EXPECT_EQ(r.Find("leaf"), nullptr);
   EXPECT_EQ(r.result.map.unreachable_hosts, 1u);
   ASSERT_EQ(r.result.map.unreachable.size(), 1u);
-  EXPECT_STREQ(r.result.map.unreachable[0]->name, "leaf");
+  EXPECT_EQ(r.result.map.names->View(r.result.map.unreachable[0]->name), "leaf");
   EXPECT_TRUE(r.diag.Mentions("unreachable"));
 }
 

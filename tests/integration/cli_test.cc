@@ -136,6 +136,17 @@ TEST_F(CliTest, RoutedbBuildGetResolveRoundTrip) {
   EXPECT_EQ(resolve.status, 0);
   EXPECT_NE(resolve.output.find("duke!research!ucbvax!honey@mit-ai"), std::string::npos)
       << resolve.output;
+
+  std::string hosts = (dir_ / "hosts.txt").string();
+  {
+    std::ofstream out(hosts);
+    out << "phs\nnowhere\nmit-ai\n";
+  }
+  CommandResult batch =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch " + cdb + " " + hosts);
+  EXPECT_EQ(batch.status, 0);
+  EXPECT_NE(batch.output.find("phs\tphs"), std::string::npos) << batch.output;
+  EXPECT_NE(batch.output.find("nowhere\t*miss*"), std::string::npos) << batch.output;
 }
 
 TEST_F(CliTest, MapgenSmallWritesParseableFiles) {

@@ -22,7 +22,7 @@ namespace {
 Node* FindHopNode(Graph& graph, const std::string& hop) {
   auto by_name = [&graph](std::string_view name) -> Node* {
     for (Node* node : graph.nodes()) {
-      if (node->name_view() == name) {
+      if (graph.NameOf(node) == name) {
         return node;
       }
     }

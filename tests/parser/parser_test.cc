@@ -164,7 +164,7 @@ TEST_F(ParserTest, AliasDeclaration) {
   ASSERT_NE(princeton, nullptr);
   ASSERT_NE(princeton->links, nullptr);
   EXPECT_TRUE(princeton->links->alias());
-  EXPECT_STREQ(princeton->links->to->name, "fun");
+  EXPECT_EQ(graph.NameOf(princeton->links->to), "fun");
 }
 
 TEST_F(ParserTest, PrivateDeclarationScopesToFile) {

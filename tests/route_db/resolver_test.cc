@@ -175,6 +175,70 @@ TEST(Resolver, DomainSuffixOnRelayInsideRewrittenPath) {
   EXPECT_EQ(r.route, "seismo!caip.rutgers.edu!user");
 }
 
+TEST(Resolver, LookupReturnsViewIntoRouteSetStorage) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  std::string_view matched;
+  const Route* route = resolver.Lookup("caip.rutgers.edu", &matched);
+  ASSERT_NE(route, nullptr);
+  EXPECT_EQ(matched, ".edu");
+  EXPECT_EQ(matched.data(), routes.names().View(routes.names().Find(".edu")).data())
+      << "matched key is the interner's copy, not an allocation";
+}
+
+TEST(Resolver, BatchMixedQueries) {
+  RouteSet routes = PaperRoutes();
+  routes.Add(".rutgers.edu", "caip!%s", 50);
+  Resolver resolver = MakeResolver(routes);
+  std::vector<std::string_view> hosts = {
+      "phs",                // exact hit
+      "caip.rutgers.edu",   // longest-suffix fallback (.rutgers.edu beats .edu)
+      "blue.cs.wisc.edu",   // suffix fallback through an un-interned middle suffix
+      "nowhere",            // miss, undotted
+      "miss.example.com",   // miss, dotted (the walk must drain cleanly)
+      ".edu",               // a domain key queried directly: exact, not a suffix match
+  };
+  std::vector<BatchLookup> results(hosts.size());
+  EXPECT_EQ(resolver.ResolveBatch(hosts, results), 4u);
+
+  ASSERT_NE(results[0].route, nullptr);
+  EXPECT_EQ(routes.names().View(results[0].via), "phs");
+  EXPECT_FALSE(results[0].suffix_match);
+
+  ASSERT_NE(results[1].route, nullptr);
+  EXPECT_EQ(routes.names().View(results[1].via), ".rutgers.edu");
+  EXPECT_TRUE(results[1].suffix_match);
+
+  ASSERT_NE(results[2].route, nullptr);
+  EXPECT_EQ(routes.names().View(results[2].via), ".edu");
+  EXPECT_TRUE(results[2].suffix_match);
+
+  EXPECT_EQ(results[3].route, nullptr);
+  EXPECT_EQ(results[4].route, nullptr);
+
+  ASSERT_NE(results[5].route, nullptr);
+  EXPECT_EQ(routes.names().View(results[5].via), ".edu");
+  EXPECT_FALSE(results[5].suffix_match);
+}
+
+TEST(Resolver, BatchAgreesWithSingleLookupOnEveryQuery) {
+  RouteSet routes = PaperRoutes();
+  routes.Add(".rutgers.edu", "caip!%s", 50);
+  Resolver resolver = MakeResolver(routes);
+  std::vector<std::string_view> hosts = {"seismo", "duke",    "phs",  "ucbvax",
+                                         ".edu",   "a.b.edu", "x.y.z", "ghost"};
+  std::vector<BatchLookup> results(hosts.size());
+  resolver.ResolveBatch(hosts, results);
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    std::string_view matched;
+    const Route* single = resolver.Lookup(hosts[i], &matched);
+    EXPECT_EQ(single, results[i].route) << hosts[i];
+    if (single != nullptr) {
+      EXPECT_EQ(matched, routes.names().View(results[i].via)) << hosts[i];
+    }
+  }
+}
+
 TEST(Resolver, PercentFormResolves) {
   RouteSet routes = PaperRoutes();
   Resolver resolver = MakeResolver(routes);
