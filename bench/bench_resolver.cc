@@ -3,18 +3,27 @@
 // the resolver implements.
 //
 // Compares lookup strategies over the full 1986-scale route list — linear scan of the
-// text file's order (what a naive mailer did), the in-memory indexed RouteSet, and the
-// on-disk-format cdb image — then measures full address resolution throughput on a
-// realistic mail trace.
+// text file's order (what a naive mailer did), the in-memory indexed RouteSet, the
+// on-disk-format cdb image, and the mmap'd .pari frozen image — then measures full
+// address resolution throughput on a realistic mail trace, plus the cold-start cost a
+// mailer pays at the top of every delivery run: parse+re-intern the route text versus
+// open+mmap the frozen image.
 
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "bench/bench_util.h"
 #include "src/core/pathalias.h"
+#include "src/image/frozen_route_set.h"
+#include "src/image/image_writer.h"
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
 #include "src/support/cdb.h"
@@ -27,6 +36,11 @@ struct Fixture {
   RouteSet routes;
   std::string cdb_image;
   std::unique_ptr<CdbReader> cdb;
+  std::string route_text;  // what a mailer re-parses at startup today
+  std::string pari_image;  // the frozen equivalent, in memory
+  std::string pari_path;   // and on disk, for the mmap cold-start path
+  std::optional<image::ImageView> frozen_view;
+  std::unique_ptr<FrozenRouteSet> frozen;
   std::vector<std::string> trace;
   std::vector<std::string> lookup_keys;
   // The batch workload: N mixed queries — known hosts, strangers under known domains
@@ -49,6 +63,29 @@ const Fixture& GetFixture() {
     f->routes = RouteSet::FromEntries(result.routes);
     f->cdb_image = f->routes.ToCdbBuffer();
     f->cdb = std::make_unique<CdbReader>(*CdbReader::FromBuffer(f->cdb_image));
+    f->route_text = f->routes.ToText(/*include_costs=*/true);
+    f->pari_image = image::ImageWriter::Freeze(f->routes);
+    f->pari_path = (std::filesystem::temp_directory_path() /
+                    ("bench_resolver." + std::to_string(getpid()) + ".pari"))
+                       .string();
+    {
+      std::FILE* out = std::fopen(f->pari_path.c_str(), "wb");
+      if (out == nullptr ||
+          std::fwrite(f->pari_image.data(), 1, f->pari_image.size(), out) !=
+              f->pari_image.size() ||
+          std::fclose(out) != 0) {
+        std::fprintf(stderr, "cannot write %s\n", f->pari_path.c_str());
+        std::abort();
+      }
+    }
+    std::string error;
+    f->frozen_view =
+        image::ImageView::Adopt(f->pari_image, image::ImageView::Verify::kChecksum, &error);
+    if (!f->frozen_view.has_value()) {
+      std::fprintf(stderr, "frozen image failed validation: %s\n", error.c_str());
+      std::abort();
+    }
+    f->frozen = std::make_unique<FrozenRouteSet>(*f->frozen_view);
     f->trace = GenerateAddressTrace(map, 2000, 424242);
     for (size_t i = 0; i < f->routes.routes().size(); i += 7) {
       f->lookup_keys.push_back(std::string(f->routes.NameOf(f->routes.routes()[i])));
@@ -173,6 +210,58 @@ void BM_BatchResolve(benchmark::State& state) {
   state.counters["queries"] = static_cast<double>(f.batch_queries.size());
 }
 
+// The same mixed batch against the mmap'd frozen image: FrozenResolver chases ids
+// through the image's probe table and suffix chains in place.
+void BM_FrozenBatchResolve(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  FrozenResolver resolver(f.frozen.get(), ResolveOptions{});
+  std::vector<BatchLookup> results(f.batch_queries.size());
+  size_t resolved = 0;
+  for (auto _ : state) {
+    resolved = resolver.ResolveBatch(f.batch_queries, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * f.batch_queries.size()));
+  state.counters["resolved"] = static_cast<double>(resolved);
+}
+
+// Cold start, the consumer-scale pain the image exists to remove: what a mailer pays
+// before its first resolve.  The parse path re-parses the linear route file and
+// re-interns every key; the image path opens + mmaps + validates and resolves in place.
+void BM_ColdStartParseIntern(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t ok = 0;
+  for (auto _ : state) {
+    RouteSet routes = RouteSet::FromText(f.route_text);
+    Resolver resolver(&routes, ResolveOptions{});
+    std::string_view key;
+    if (resolver.Lookup(f.lookup_keys.front(), &key).ok()) {
+      ++ok;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["routes"] = static_cast<double>(f.routes.size());
+}
+
+void BM_ColdStartImageOpen(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  size_t ok = 0;
+  for (auto _ : state) {
+    auto opened = FrozenImage::Open(f.pari_path);
+    if (!opened.has_value()) {
+      state.SkipWithError("cannot open the frozen image");
+      return;
+    }
+    FrozenResolver resolver(&opened->routes(), ResolveOptions{});
+    std::string_view key;
+    if (resolver.Lookup(f.lookup_keys.front(), &key).ok()) {
+      ++ok;
+    }
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["routes"] = static_cast<double>(f.routes.size());
+}
+
 // Emits machine-readable results for the batch workload as BENCH_resolver.json, with
 // the pre-refactor reference numbers (seed build, same workload generator, same
 // container) recorded alongside so the comparison travels with the repo.
@@ -193,11 +282,57 @@ void WriteBenchJson() {
     }
   }
   for (const BatchLookup& result : results) {
-    if (result.route != nullptr && result.suffix_match) {
+    if (result.route.ok() && result.suffix_match) {
       ++suffix_matches;
     }
   }
   double qps = static_cast<double>(f.batch_queries.size()) / (best_ms / 1000.0);
+
+  // The same batch against the mmap'd frozen image.
+  FrozenResolver frozen_resolver(f.frozen.get(), ResolveOptions{});
+  size_t frozen_resolved = 0;
+  double frozen_best_ms = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    bench::WallTimer timer;
+    frozen_resolved = frozen_resolver.ResolveBatch(f.batch_queries, results);
+    double ms = timer.Ms();
+    if (pass == 0 || ms < frozen_best_ms) {
+      frozen_best_ms = ms;
+    }
+  }
+  double frozen_qps = static_cast<double>(f.batch_queries.size()) / (frozen_best_ms / 1000.0);
+
+  // Cold start: parse+intern the route text vs open+mmap the image, each through its
+  // first resolve, best of kPasses.
+  double parse_ms = 0.0;
+  double image_ms = 0.0;
+  for (int pass = 0; pass < kPasses; ++pass) {
+    std::string_view key;
+    bench::WallTimer parse_timer;
+    {
+      RouteSet routes = RouteSet::FromText(f.route_text);
+      Resolver cold(&routes, ResolveOptions{});
+      cold.Lookup(f.lookup_keys.front(), &key);
+    }
+    double ms = parse_timer.Ms();
+    if (pass == 0 || ms < parse_ms) {
+      parse_ms = ms;
+    }
+    bench::WallTimer image_timer;
+    {
+      auto opened = FrozenImage::Open(f.pari_path);
+      if (!opened.has_value()) {
+        std::fprintf(stderr, "cannot reopen %s\n", f.pari_path.c_str());
+        std::abort();
+      }
+      FrozenResolver cold(&opened->routes(), ResolveOptions{});
+      cold.Lookup(f.lookup_keys.front(), &key);
+    }
+    ms = image_timer.Ms();
+    if (pass == 0 || ms < image_ms) {
+      image_ms = ms;
+    }
+  }
 
   // Single-query path for the same trace the legacy benchmark uses.
   ResolveOptions single_options;
@@ -227,6 +362,25 @@ void WriteBenchJson() {
   std::fprintf(out, "    \"best_wall_ms\": %.3f,\n", best_ms);
   std::fprintf(out, "    \"queries_per_second\": %.0f\n", qps);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"frozen_batch_resolve\": {\n");
+  std::fprintf(out, "    \"note\": \"same %zu-query batch via FrozenResolver over the "
+                    "mmap'd .pari image\",\n", f.batch_queries.size());
+  std::fprintf(out, "    \"resolved\": %zu,\n", frozen_resolved);
+  std::fprintf(out, "    \"best_wall_ms\": %.3f,\n", frozen_best_ms);
+  std::fprintf(out, "    \"queries_per_second\": %.0f,\n", frozen_qps);
+  std::fprintf(out, "    \"matches_live_resolved\": %s\n",
+               frozen_resolved == resolved ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"cold_start\": {\n");
+  std::fprintf(out, "    \"note\": \"startup through first resolve: parse+intern the "
+                    "route text vs open+mmap+validate the frozen image; best of %d\",\n",
+               kPasses);
+  std::fprintf(out, "    \"routes\": %zu,\n", f.routes.size());
+  std::fprintf(out, "    \"image_bytes\": %zu,\n", f.pari_image.size());
+  std::fprintf(out, "    \"parse_intern_ms\": %.3f,\n", parse_ms);
+  std::fprintf(out, "    \"image_open_ms\": %.3f,\n", image_ms);
+  std::fprintf(out, "    \"speedup\": %.1f\n", image_ms > 0.0 ? parse_ms / image_ms : 0.0);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"resolve_trace\": {\n");
   std::fprintf(out, "    \"addresses\": %zu,\n", f.trace.size());
   std::fprintf(out, "    \"resolved\": %zu,\n", trace_resolved);
@@ -248,6 +402,9 @@ void WriteBenchJson() {
   std::printf("wrote BENCH_resolver.json: %zu queries, %zu resolved (%zu via domain "
               "suffix), best %.1f ms, %.2fM queries/s\n",
               f.batch_queries.size(), resolved, suffix_matches, best_ms, qps / 1e6);
+  std::printf("frozen image: %.2fM queries/s steady-state; cold start %.3f ms vs "
+              "%.3f ms parse+intern (%.1fx)\n",
+              frozen_qps / 1e6, image_ms, parse_ms, image_ms > 0.0 ? parse_ms / image_ms : 0.0);
 }
 
 }  // namespace
@@ -260,17 +417,28 @@ BENCHMARK(BM_ResolveTrace)->Name("resolve_trace/first_hop")->Arg(0)
 BENCHMARK(BM_ResolveTrace)->Name("resolve_trace/rightmost_known")->Arg(1)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_BatchResolve)->Name("resolve_batch/mixed_1e6")->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FrozenBatchResolve)
+    ->Name("resolve_batch/frozen_image_1e6")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdStartParseIntern)
+    ->Name("cold_start/parse_intern")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdStartImageOpen)
+    ->Name("cold_start/image_open")
+    ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   pathalias::bench::PrintHeader(
       "E13: route database retrieval and address resolution",
       "pathalias output converted to a constant DB gives 'rapid database retrieval'; "
       "resolution follows the exact-then-domain-suffix order of the paper");
-  std::printf("route list: %zu routes; cdb image: %zu KiB\n\n",
-              GetFixture().routes.size(), GetFixture().cdb_image.size() / 1024);
+  std::printf("route list: %zu routes; cdb image: %zu KiB; frozen .pari image: %zu KiB\n\n",
+              GetFixture().routes.size(), GetFixture().cdb_image.size() / 1024,
+              GetFixture().pari_image.size() / 1024);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   WriteBenchJson();
+  std::remove(GetFixture().pari_path.c_str());
   return 0;
 }

@@ -270,8 +270,23 @@ Mapper::Result Mapper::Run() {
     if (bytes / sizeof(PathLabel*) >= max_labels) {
       storage = static_cast<PathLabel**>(ptr);
       capacity = bytes / sizeof(PathLabel*);
-    } else if (ptr != nullptr) {
-      graph_->arena().Donate(ptr, bytes);
+    } else {
+      if (ptr != nullptr) {
+        graph_->arena().Donate(ptr, bytes);
+      }
+      // two_label needs 2v+2 slots but the table only guarantees ~1.27v.  Retired
+      // tables from earlier growths (and oversize-allocation tails) sit on the arena's
+      // donation list — steal the largest that fits before giving up on reuse.
+      auto [donated, donated_bytes] =
+          graph_->arena().TakeDonation(max_labels * sizeof(PathLabel*) + alignof(PathLabel*));
+      if (donated != nullptr) {
+        auto address = reinterpret_cast<uintptr_t>(donated);
+        uintptr_t aligned =
+            (address + alignof(PathLabel*) - 1) & ~uintptr_t{alignof(PathLabel*) - 1};
+        storage = reinterpret_cast<PathLabel**>(aligned);
+        capacity = (donated_bytes - (aligned - address)) / sizeof(PathLabel*);
+        result.heap_storage_from_donation = true;
+      }
     }
   }
   LabelLess less{&graph_->names(), options_.prefer_fewer_hops};
@@ -363,6 +378,10 @@ Mapper::Result Mapper::Run() {
         ++result.penalized_routes;
       }
     }
+  }
+  if (result.heap_storage_from_donation && storage != nullptr) {
+    // The heap has drained; recycle the borrowed region for later arena requests.
+    graph_->arena().Donate(storage, capacity * sizeof(PathLabel*));
   }
   result_ = nullptr;
   return result;

@@ -201,12 +201,12 @@ std::string RoutePrinter::Render(const std::vector<RouteEntry>& entries,
   return out;
 }
 
-std::string RoutePrinter::SpliceUser(const std::string& route, const std::string& argument) {
+std::string RoutePrinter::SpliceUser(std::string_view route, std::string_view argument) {
   size_t marker = route.find("%s");
-  if (marker == std::string::npos) {
-    return route;
+  if (marker == std::string_view::npos) {
+    return std::string(route);
   }
-  std::string out = route;
+  std::string out(route);
   out.replace(marker, 2, argument);
   return out;
 }

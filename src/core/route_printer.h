@@ -25,6 +25,7 @@
 #define SRC_CORE_ROUTE_PRINTER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/core/mapper.h"
@@ -58,7 +59,7 @@ class RoutePrinter {
   std::string BuildAndRender() { return Render(Build(), options_); }
 
   // Replaces the %s in `route` with `argument` (what a mailer does with a route).
-  static std::string SpliceUser(const std::string& route, const std::string& argument);
+  static std::string SpliceUser(std::string_view route, std::string_view argument);
 
  private:
   const Mapper::Result* map_;

@@ -1,0 +1,12 @@
+// Instantiates the resolver for the image-backed FrozenRouteSet.  Lives on the image
+// side of the boundary: route_db forward-declares FrozenRouteSet (resolver.h) but
+// never includes this subsystem.
+
+#include "src/image/frozen_route_set.h"
+#include "src/route_db/resolver_impl.h"
+
+namespace pathalias {
+
+template class BasicResolver<FrozenRouteSet>;
+
+}  // namespace pathalias

@@ -1,0 +1,22 @@
+#include "src/image/frozen_route_set.h"
+
+namespace pathalias {
+
+std::optional<FrozenImage> FrozenImage::Open(const std::string& path,
+                                             image::ImageView::Verify verify,
+                                             std::string* error) {
+  std::optional<image::MappedFile> file = image::MappedFile::Open(path);
+  if (!file) {
+    if (error != nullptr) {
+      *error = "cannot open or read " + path;
+    }
+    return std::nullopt;
+  }
+  std::optional<image::ImageView> view = image::ImageView::Adopt(file->bytes(), verify, error);
+  if (!view) {
+    return std::nullopt;
+  }
+  return FrozenImage(std::move(*file), *view);
+}
+
+}  // namespace pathalias

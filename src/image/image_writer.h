@@ -1,0 +1,31 @@
+// ImageWriter: freeze a live NameInterner + RouteSet into a .pari image.
+//
+// Freezing walks the route set once, lays every name and route string into offset-based
+// pools, rebuilds the probe table from the hashes the interner recorded at intern time
+// (so freezing works even after the mapper stole the live table), and stamps the header
+// with the checksum.  The output is position-independent: mmap it anywhere and hand it
+// to ImageView / FrozenRouteSet.
+
+#ifndef SRC_IMAGE_IMAGE_WRITER_H_
+#define SRC_IMAGE_IMAGE_WRITER_H_
+
+#include <string>
+
+#include "src/route_db/route_db.h"
+
+namespace pathalias {
+namespace image {
+
+class ImageWriter {
+ public:
+  // Serializes `routes` (and the interner that owns its keys) into a .pari buffer.
+  static std::string Freeze(const RouteSet& routes);
+
+  // Freeze() straight to a file.  Returns false on I/O failure.
+  static bool WriteFile(const RouteSet& routes, const std::string& path);
+};
+
+}  // namespace image
+}  // namespace pathalias
+
+#endif  // SRC_IMAGE_IMAGE_WRITER_H_

@@ -1,0 +1,84 @@
+#include "src/image/mapped_file.h"
+
+#include <cstdio>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define PATHALIAS_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace pathalias {
+namespace image {
+namespace {
+
+bool ReadWholeFile(const std::string& path, std::string* out) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    return false;
+  }
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), in)) > 0) {
+    out->append(chunk, n);
+  }
+  bool ok = std::ferror(in) == 0;
+  std::fclose(in);
+  return ok;
+}
+
+}  // namespace
+
+std::optional<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile file;
+#ifdef PATHALIAS_HAVE_MMAP
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                            MAP_PRIVATE, fd, 0);
+      if (mapped != MAP_FAILED) {
+        file.mapped_ = static_cast<char*>(mapped);
+        file.size_ = static_cast<size_t>(st.st_size);
+      }
+    }
+    ::close(fd);
+    if (file.mapped_ != nullptr) {
+      return file;
+    }
+  }
+#endif
+  if (!ReadWholeFile(path, &file.buffer_)) {
+    return std::nullopt;
+  }
+  return file;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+#ifdef PATHALIAS_HAVE_MMAP
+    if (mapped_ != nullptr) {
+      ::munmap(mapped_, size_);
+    }
+#endif
+    mapped_ = std::exchange(other.mapped_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+#ifdef PATHALIAS_HAVE_MMAP
+  if (mapped_ != nullptr) {
+    ::munmap(mapped_, size_);
+  }
+#endif
+}
+
+}  // namespace image
+}  // namespace pathalias

@@ -1,148 +1,11 @@
-#include "src/route_db/resolver.h"
+// Instantiates the resolver for the live, parse-built backend.  The image-backed
+// instantiation lives in src/image/frozen_resolver.cc so route_db stays independent of
+// the layers above it.
 
-#include <cassert>
-
-#include <unordered_set>
-
-#include "src/core/route_printer.h"
+#include "src/route_db/resolver_impl.h"
 
 namespace pathalias {
-namespace {
 
-bool HasRepeatedHost(const std::vector<std::string>& path) {
-  std::unordered_set<std::string_view> seen;
-  for (const std::string& host : path) {
-    if (!seen.insert(host).second) {
-      return true;
-    }
-  }
-  return false;
-}
-
-// Joins path[first..] and the user into a relative bang path.
-std::string TailArgument(const std::vector<std::string>& path, size_t first,
-                         const std::string& user) {
-  std::string out;
-  for (size_t i = first; i < path.size(); ++i) {
-    out += path[i];
-    out += '!';
-  }
-  out += user;
-  return out;
-}
-
-}  // namespace
-
-const Route* Resolver::LookupId(std::string_view host, NameId* via) const {
-  const NameInterner& names = routes_->names();
-  NameId id = names.Find(host);
-  if (id != kNoName) {
-    // The query is a known name: the exact probe and the entire domain-suffix walk
-    // (caip.rutgers.edu → .rutgers.edu → .edu) are integer chases from here on.
-    if (const Route* route = routes_->Find(id)) {
-      *via = id;
-      return route;
-    }
-    for (NameId suffix = names.Suffix(id); suffix != kNoName; suffix = names.Suffix(suffix)) {
-      if (const Route* route = routes_->Find(suffix)) {
-        *via = suffix;
-        return route;
-      }
-    }
-    return nullptr;
-  }
-  // A stranger: probe its dotted suffixes until one is interned.  Interning any dotted
-  // name interns its whole chain, so the first hit's chain covers every shorter suffix.
-  size_t dot = host.find('.', 1);
-  while (dot != std::string_view::npos) {
-    NameId suffix = names.Find(host.substr(dot));  // includes the leading '.'
-    if (suffix != kNoName) {
-      for (; suffix != kNoName; suffix = names.Suffix(suffix)) {
-        if (const Route* route = routes_->Find(suffix)) {
-          *via = suffix;
-          return route;
-        }
-      }
-      return nullptr;
-    }
-    dot = host.find('.', dot + 1);
-  }
-  return nullptr;
-}
-
-const Route* Resolver::Lookup(std::string_view host, std::string_view* matched_key) const {
-  NameId via = kNoName;
-  const Route* route = LookupId(host, &via);
-  if (route != nullptr) {
-    *matched_key = routes_->names().View(via);
-  }
-  return route;
-}
-
-size_t Resolver::ResolveBatch(std::span<const std::string_view> hosts,
-                              std::span<BatchLookup> results) const {
-  assert(results.size() >= hosts.size());
-  size_t resolved = 0;
-  size_t count = hosts.size();
-  for (size_t i = 0; i < count; ++i) {
-    BatchLookup& out = results[i];
-    out = BatchLookup{};
-    out.route = LookupId(hosts[i], &out.via);
-    if (out.route != nullptr) {
-      out.suffix_match = routes_->names().View(out.via) != hosts[i];
-      ++resolved;
-    }
-  }
-  return resolved;
-}
-
-Resolution Resolver::Resolve(std::string_view destination) const {
-  Resolution resolution;
-  Address address = ParseAddress(destination, options_.parse_style);
-  if (address.user.empty() && address.path.empty()) {
-    resolution.error = "empty address";
-    return resolution;
-  }
-  if (address.path.empty()) {
-    // Local delivery: nothing to route.
-    resolution.ok = true;
-    resolution.route = address.user;
-    resolution.via = "<local>";
-    resolution.argument = address.user;
-    return resolution;
-  }
-
-  size_t target_index = 0;
-  if (options_.optimize == ResolveOptions::Optimize::kRightmostKnown &&
-      !(options_.preserve_loops && HasRepeatedHost(address.path))) {
-    std::string_view key;
-    for (size_t i = address.path.size(); i-- > 0;) {
-      if (Lookup(address.path[i], &key) != nullptr) {
-        target_index = i;
-        break;
-      }
-    }
-  }
-
-  const std::string& target = address.path[target_index];
-  std::string argument = TailArgument(address.path, target_index + 1, address.user);
-
-  std::string_view matched;
-  const Route* route = Lookup(target, &matched);
-  if (route == nullptr) {
-    resolution.error = "no route to " + target;
-    return resolution;
-  }
-  if (matched != target) {
-    // Domain-suffix match: "The argument here is not pleasant (as it were), it is
-    // caip.rutgers.edu!pleasant."
-    argument = target + "!" + argument;
-  }
-  resolution.ok = true;
-  resolution.via = std::string(matched);
-  resolution.argument = argument;
-  resolution.route = RoutePrinter::SpliceUser(route->route, argument);
-  return resolution;
-}
+template class BasicResolver<RouteSet>;
 
 }  // namespace pathalias

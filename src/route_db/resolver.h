@@ -12,6 +12,16 @@
 //     its database?" — as a selectable strategy;
 //   * the loop-test caveat — "an overly-enthusiastic optimizer can eliminate them
 //     altogether": paths that visit a host twice are never shortened.
+//
+// The resolver is a template over its route source so the same code serves both
+// backends: the live, parse-built RouteSet and the mmap'd FrozenRouteSet from
+// src/image.  A RouteSource supplies
+//   const NameInterner& names() const;
+//   RouteView FindRouteView(NameId) const;
+// and everything else — the suffix walk, rightmost-known rewriting, loop preservation —
+// is shared.  Method bodies live in resolver_impl.h; each backend's translation unit
+// (resolver.cc here, frozen_resolver.cc in src/image) hosts its own explicit
+// instantiation, so this layer never depends on the image subsystem above it.
 
 #ifndef SRC_ROUTE_DB_RESOLVER_H_
 #define SRC_ROUTE_DB_RESOLVER_H_
@@ -24,6 +34,8 @@
 #include "src/route_db/route_db.h"
 
 namespace pathalias {
+
+class FrozenRouteSet;  // src/image/frozen_route_set.h
 
 struct ResolveOptions {
   ParseStyle parse_style = ParseStyle::kUucpFirst;
@@ -47,17 +59,18 @@ struct Resolution {
   std::string error;     // set iff !ok
 };
 
-// One batch lookup outcome: handles and pointers into the RouteSet only, no owned
-// strings — back-resolve via RouteSet::names() when formatting.
+// One batch lookup outcome: a handle and views into the route set only, no owned
+// strings — back-resolve via the set's names() when formatting.
 struct BatchLookup {
-  const Route* route = nullptr;  // nullptr: no route known
+  RouteView route;               // !route.ok(): no route known
   NameId via = kNoName;          // database key that matched (host or domain suffix)
   bool suffix_match = false;     // a domain suffix hit: prepend the host to the argument
 };
 
-class Resolver {
+template <typename RouteSource>
+class BasicResolver {
  public:
-  Resolver(const RouteSet* routes, ResolveOptions options)
+  BasicResolver(const RouteSource* routes, ResolveOptions options)
       : routes_(routes), options_(options) {}
 
   Resolution Resolve(std::string_view destination) const;
@@ -65,8 +78,8 @@ class Resolver {
   // The paper's lookup: exact host name, then successive domain suffixes, longest
   // first.  On a suffix match the caller must prepend the full host name to the
   // argument.  `matched_key` receives the database key that hit — always a view into
-  // the RouteSet's interner (alive as long as the RouteSet), never an allocation.
-  const Route* Lookup(std::string_view host, std::string_view* matched_key) const;
+  // the route set's interner (alive as long as the set), never an allocation.
+  RouteView Lookup(std::string_view host, std::string_view* matched_key) const;
 
   // Bulk form of Lookup for mailer delivery scans: resolves hosts[i] into results[i]
   // and returns the number that matched.  `results` must hold at least hosts.size()
@@ -78,11 +91,18 @@ class Resolver {
 
  private:
   // Core walk shared by Lookup and ResolveBatch; fills `via` on a hit.
-  const Route* LookupId(std::string_view host, NameId* via) const;
+  RouteView LookupId(std::string_view host, NameId* via) const;
 
-  const RouteSet* routes_;
+  const RouteSource* routes_;
   ResolveOptions options_;
 };
+
+// The two supported backends; bodies are compiled once, in resolver.cc.
+using Resolver = BasicResolver<RouteSet>;
+using FrozenResolver = BasicResolver<FrozenRouteSet>;
+
+extern template class BasicResolver<RouteSet>;
+extern template class BasicResolver<FrozenRouteSet>;
 
 }  // namespace pathalias
 

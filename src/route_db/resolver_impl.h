@@ -1,0 +1,164 @@
+// BasicResolver method definitions, shared by the per-backend instantiation units:
+// resolver.cc (BasicResolver<RouteSet>) and src/image/frozen_resolver.cc
+// (BasicResolver<FrozenRouteSet>).  Keeping the bodies here — instead of in
+// resolver.cc next to an #include of the image subsystem — keeps route_db a lower
+// layer than src/image, which depends on it.
+
+#ifndef SRC_ROUTE_DB_RESOLVER_IMPL_H_
+#define SRC_ROUTE_DB_RESOLVER_IMPL_H_
+
+#include <cassert>
+
+#include <unordered_set>
+
+#include "src/core/route_printer.h"
+#include "src/route_db/resolver.h"
+
+namespace pathalias {
+namespace resolver_detail {
+
+inline bool HasRepeatedHost(const std::vector<std::string>& path) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string& host : path) {
+    if (!seen.insert(host).second) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Joins path[first..] and the user into a relative bang path.
+inline std::string TailArgument(const std::vector<std::string>& path, size_t first,
+                                const std::string& user) {
+  std::string out;
+  for (size_t i = first; i < path.size(); ++i) {
+    out += path[i];
+    out += '!';
+  }
+  out += user;
+  return out;
+}
+
+}  // namespace resolver_detail
+
+template <typename RouteSource>
+RouteView BasicResolver<RouteSource>::LookupId(std::string_view host, NameId* via) const {
+  const NameInterner& names = routes_->names();
+  NameId id = names.Find(host);
+  if (id != kNoName) {
+    // The query is a known name: the exact probe and the entire domain-suffix walk
+    // (caip.rutgers.edu → .rutgers.edu → .edu) are integer chases from here on.
+    if (RouteView route = routes_->FindRouteView(id)) {
+      *via = id;
+      return route;
+    }
+    for (NameId suffix = names.Suffix(id); suffix != kNoName; suffix = names.Suffix(suffix)) {
+      if (RouteView route = routes_->FindRouteView(suffix)) {
+        *via = suffix;
+        return route;
+      }
+    }
+    return RouteView{};
+  }
+  // A stranger: probe its dotted suffixes until one is interned.  Interning any dotted
+  // name interns its whole chain, so the first hit's chain covers every shorter suffix.
+  size_t dot = host.find('.', 1);
+  while (dot != std::string_view::npos) {
+    NameId suffix = names.Find(host.substr(dot));  // includes the leading '.'
+    if (suffix != kNoName) {
+      for (; suffix != kNoName; suffix = names.Suffix(suffix)) {
+        if (RouteView route = routes_->FindRouteView(suffix)) {
+          *via = suffix;
+          return route;
+        }
+      }
+      return RouteView{};
+    }
+    dot = host.find('.', dot + 1);
+  }
+  return RouteView{};
+}
+
+template <typename RouteSource>
+RouteView BasicResolver<RouteSource>::Lookup(std::string_view host,
+                                             std::string_view* matched_key) const {
+  NameId via = kNoName;
+  RouteView route = LookupId(host, &via);
+  if (route.ok()) {
+    *matched_key = routes_->names().View(via);
+  }
+  return route;
+}
+
+template <typename RouteSource>
+size_t BasicResolver<RouteSource>::ResolveBatch(std::span<const std::string_view> hosts,
+                                                std::span<BatchLookup> results) const {
+  assert(results.size() >= hosts.size());
+  size_t resolved = 0;
+  size_t count = hosts.size();
+  for (size_t i = 0; i < count; ++i) {
+    BatchLookup& out = results[i];
+    out = BatchLookup{};
+    out.route = LookupId(hosts[i], &out.via);
+    if (out.route.ok()) {
+      out.suffix_match = routes_->names().View(out.via) != hosts[i];
+      ++resolved;
+    }
+  }
+  return resolved;
+}
+
+template <typename RouteSource>
+Resolution BasicResolver<RouteSource>::Resolve(std::string_view destination) const {
+  Resolution resolution;
+  Address address = ParseAddress(destination, options_.parse_style);
+  if (address.user.empty() && address.path.empty()) {
+    resolution.error = "empty address";
+    return resolution;
+  }
+  if (address.path.empty()) {
+    // Local delivery: nothing to route.
+    resolution.ok = true;
+    resolution.route = address.user;
+    resolution.via = "<local>";
+    resolution.argument = address.user;
+    return resolution;
+  }
+
+  size_t target_index = 0;
+  if (options_.optimize == ResolveOptions::Optimize::kRightmostKnown &&
+      !(options_.preserve_loops && resolver_detail::HasRepeatedHost(address.path))) {
+    std::string_view key;
+    for (size_t i = address.path.size(); i-- > 0;) {
+      if (Lookup(address.path[i], &key).ok()) {
+        target_index = i;
+        break;
+      }
+    }
+  }
+
+  const std::string& target = address.path[target_index];
+  std::string argument =
+      resolver_detail::TailArgument(address.path, target_index + 1, address.user);
+
+  std::string_view matched;
+  RouteView route = Lookup(target, &matched);
+  if (!route.ok()) {
+    resolution.error = "no route to " + target;
+    return resolution;
+  }
+  if (matched != target) {
+    // Domain-suffix match: "The argument here is not pleasant (as it were), it is
+    // caip.rutgers.edu!pleasant."
+    argument = target + "!" + argument;
+  }
+  resolution.ok = true;
+  resolution.via = std::string(matched);
+  resolution.argument = argument;
+  resolution.route = RoutePrinter::SpliceUser(route.route, argument);
+  return resolution;
+}
+
+}  // namespace pathalias
+
+#endif  // SRC_ROUTE_DB_RESOLVER_IMPL_H_

@@ -28,6 +28,18 @@ struct Route {
   Cost cost = -1;         // -1: unknown (the file had no cost column)
 };
 
+// A non-owning route record: what the Resolver traffics in.  Both backends produce it —
+// the live RouteSet views its Route's string, the image-backed FrozenRouteSet views the
+// mmap'd route-byte pool — so resolution code is backend-agnostic and allocation-free.
+struct RouteView {
+  NameId name = kNoName;   // key handle; kNoName means "no route known"
+  std::string_view route;  // printf format string with one %s; owned by the route set
+  Cost cost = -1;
+
+  bool ok() const { return name != kNoName; }
+  explicit operator bool() const { return ok(); }
+};
+
 class RouteSet {
  public:
   RouteSet() = default;
@@ -54,6 +66,17 @@ class RouteSet {
   const Route* Find(std::string_view name) const;
   const Route* Find(NameId id) const {
     return id < by_name_.size() && by_name_[id] != 0 ? &routes_[by_name_[id] - 1] : nullptr;
+  }
+
+  // The backend-agnostic lookup the Resolver uses (FrozenRouteSet implements the same
+  // signature over the mmap'd image).  A default RouteView means "no route".
+  RouteView FindRouteView(NameId id) const {
+    const Route* route = Find(id);
+    return route != nullptr ? RouteView{route->name, route->route, route->cost} : RouteView{};
+  }
+  RouteView FindRouteView(std::string_view name) const {
+    const Route* route = Find(name);
+    return route != nullptr ? RouteView{route->name, route->route, route->cost} : RouteView{};
   }
 
   // The interner every route key (and its precomputed domain-suffix chain) lives in.

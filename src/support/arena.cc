@@ -98,6 +98,25 @@ char* Arena::InternString(std::string_view text) {
   return storage;
 }
 
+std::pair<void*, size_t> Arena::TakeDonation(size_t min_size) {
+  size_t best = donated_.size();
+  size_t best_size = 0;
+  for (size_t i = 0; i < donated_.size(); ++i) {
+    size_t size = static_cast<size_t>(donated_[i].end - donated_[i].begin);
+    if (size >= min_size && size > best_size) {
+      best = i;
+      best_size = size;
+    }
+  }
+  if (best == donated_.size()) {
+    return {nullptr, 0};
+  }
+  Region region = donated_[best];
+  donated_.erase(donated_.begin() + static_cast<ptrdiff_t>(best));
+  ++stats_.donations_taken;
+  return {region.begin, best_size};
+}
+
 void Arena::Donate(void* region, size_t size) {
   ++stats_.donations;
   if (region == nullptr || size < 64) {

@@ -69,6 +69,13 @@ class Arena {
   // the underlying block; donation only recycles the span.
   void Donate(void* region, size_t size);
 
+  // Removes and returns the largest donated region of at least `min_size` bytes, or
+  // {nullptr, 0} if none qualifies.  The mapper uses this when the interner's retired
+  // probe table (~1.27v slots) cannot hold the two_label heap (2v+2 slots): retired
+  // tables from earlier growths live on the donation list and may be big enough.
+  // Donate() the region back when done with it.
+  std::pair<void*, size_t> TakeDonation(size_t min_size);
+
   struct Stats {
     size_t bytes_requested = 0;   // sum of Allocate() sizes
     size_t bytes_reserved = 0;    // total block storage obtained from the OS
@@ -76,6 +83,7 @@ class Arena {
     size_t oversize_count = 0;    // requests larger than the block size
     size_t donations = 0;         // Donate() calls
     size_t donations_reused = 0;  // donated regions that served later requests
+    size_t donations_taken = 0;   // donated regions handed back out via TakeDonation()
     size_t allocation_count = 0;  // Allocate() calls
   };
   const Stats& stats() const { return stats_; }

@@ -29,6 +29,15 @@ NameInterner::NameInterner(Arena* arena, Options options) : arena_(arena), optio
   }
 }
 
+NameInterner::NameInterner(const FrozenView& view, Options options)
+    : options_(options), frozen_(view) {}
+
+NameInterner NameInterner::AdoptFrozen(const FrozenView& view) {
+  Options options;
+  options.fold_case = view.fold_case;
+  return NameInterner(view, options);
+}
+
 uint64_t NameInterner::HashName(std::string_view name) const {
   // The paper's bit-level shift/xor key, folded to match the stored normalization.
   uint64_t k = 0x5061746841ull;
@@ -50,35 +59,37 @@ uint64_t NameInterner::HashName(std::string_view name) const {
   return k;
 }
 
-bool NameInterner::Equal(const Entry& entry, std::string_view name) const {
-  if (entry.length != name.size()) {
+bool NameInterner::EqualName(NameId id, std::string_view name) const {
+  std::string_view stored = View(id);
+  if (stored.size() != name.size()) {
     return false;
   }
   if (!options_.fold_case) {
-    return std::memcmp(entry.chars, name.data(), name.size()) == 0;
+    return std::memcmp(stored.data(), name.data(), name.size()) == 0;
   }
-  for (uint32_t i = 0; i < entry.length; ++i) {
-    if (entry.chars[i] != FoldChar(name[i])) {
+  for (size_t i = 0; i < stored.size(); ++i) {
+    if (stored[i] != FoldChar(name[i])) {
       return false;
     }
   }
   return true;
 }
 
-uint64_t NameInterner::ProbeFor(std::string_view name, uint64_t k) const {
-  uint64_t index = k % capacity_;
+uint64_t NameInterner::ProbeFor(const Slot* slots, uint64_t capacity, std::string_view name,
+                                uint64_t k) const {
+  uint64_t index = k % capacity;
   // The paper's secondary hash: T-2-(k mod T-2), range [1, T-2].
-  uint64_t stride = capacity_ - 2 - (k % (capacity_ - 2));
+  uint64_t stride = capacity - 2 - (k % (capacity - 2));
   const uint32_t hash32 = static_cast<uint32_t>(k);
   for (;;) {
     ++stats_.probes;
-    const Slot& slot = slots_[index];
-    if (slot.id == kNoName || (slot.hash == hash32 && Equal(entries_[slot.id], name))) {
+    const Slot& slot = slots[index];
+    if (slot.id == kNoName || (slot.hash == hash32 && EqualName(slot.id, name))) {
       return index;
     }
     index += stride;
-    if (index >= capacity_) {
-      index -= capacity_;
+    if (index >= capacity) {
+      index -= capacity;
     }
   }
 }
@@ -117,8 +128,9 @@ void NameInterner::Rehash(uint64_t new_capacity) {
 }
 
 NameId NameInterner::LinearFind(std::string_view name) const {
-  for (size_t id = 0; id < entries_.size(); ++id) {
-    if (Equal(entries_[id], name)) {
+  size_t count = size();
+  for (size_t id = 0; id < count; ++id) {
+    if (EqualName(static_cast<NameId>(id), name)) {
       return static_cast<NameId>(id);
     }
   }
@@ -127,17 +139,28 @@ NameId NameInterner::LinearFind(std::string_view name) const {
 
 NameId NameInterner::Find(std::string_view name) const {
   ++stats_.accesses;
+  if (frozen()) {
+    if (frozen_.entry_count == 0 || frozen_.table_capacity < 5) {
+      return kNoName;
+    }
+    uint64_t index = ProbeFor(frozen_.slots, frozen_.table_capacity, name, HashName(name));
+    return frozen_.slots[index].id;
+  }
   if (stolen_) {
     return LinearFind(name);
   }
   if (capacity_ == 0) {
     return kNoName;
   }
-  uint64_t index = ProbeFor(name, HashName(name));
+  uint64_t index = ProbeFor(slots_, capacity_, name, HashName(name));
   return slots_[index].id;  // kNoName when the probe stopped at an empty slot
 }
 
 NameId NameInterner::Intern(std::string_view name) {
+  assert(!frozen() && "Intern on a frozen (read-only) interner");
+  if (frozen()) {
+    return Find(name);  // release-mode degradation: read-only lookup
+  }
   ++stats_.accesses;
   // One hash per intern: HashName folds exactly like the stored copy, so `k` is also
   // the normalized entry's probe hash below.
@@ -154,7 +177,7 @@ NameId NameInterner::Intern(std::string_view name) {
                               kHighWater * static_cast<double>(capacity_)) {
       Rehash(growth_.NextSize(capacity_ < 5 ? 5 : capacity_));
     }
-    uint64_t index = ProbeFor(name, k);
+    uint64_t index = ProbeFor(slots_, capacity_, name, k);
     if (slots_[index].id != kNoName) {
       return slots_[index].id;
     }
@@ -189,7 +212,11 @@ NameId NameInterner::Intern(std::string_view name) {
 }
 
 std::pair<void*, size_t> NameInterner::StealTable() {
+  assert(!frozen() && "StealTable on a frozen (read-only) interner");
   assert(!stolen_);
+  if (frozen()) {
+    return {nullptr, 0};
+  }
   stolen_ = true;
   void* storage = slots_;
   size_t bytes = static_cast<size_t>(capacity_) * sizeof(Slot);

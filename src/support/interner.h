@@ -21,6 +21,13 @@
 // can be stolen (StealTable) to hold the shortest-path heap.  Ids, views and suffix
 // chains survive the theft; string → id lookups degrade to a linear scan, which only
 // rare post-mapping probes take.
+//
+// The interner can also run *frozen*: AdoptFrozen points it at entry/slot/byte arrays
+// laid out by src/image's ImageWriter (typically an mmap'd .pari file).  A frozen
+// interner answers Find/View/Suffix against the mapping with zero copies and zero
+// allocations; Intern and StealTable are forbidden.  The frozen record types below are
+// the on-disk layout — fixed-width, offset-based, no pointers — shared by the writer,
+// the image validator, and the adopt mode.
 
 #ifndef SRC_SUPPORT_INTERNER_H_
 #define SRC_SUPPORT_INTERNER_H_
@@ -56,6 +63,36 @@ class NameInterner {
     uint64_t rehashes = 0;  // table growths
   };
 
+  // One name record in frozen layout: everything the live Entry holds, with the char
+  // pointer replaced by an offset into a shared NUL-terminated byte pool.
+  struct FrozenEntry {
+    uint64_t hash;          // full probe hash, as HashName computed it at intern time
+    uint32_t bytes_offset;  // into the name-byte pool; the name is NUL-terminated there
+    uint32_t length;
+    NameId suffix;          // domain-suffix chain link, or kNoName
+    uint32_t reserved;
+  };
+  static_assert(sizeof(FrozenEntry) == 24);
+
+  // One probe-table slot in frozen layout — bit-identical to the live table's slots.
+  struct alignas(8) FrozenSlot {
+    NameId id;      // kNoName == empty
+    uint32_t hash;  // low 32 bits of the entry's probe hash
+  };
+  static_assert(sizeof(FrozenSlot) == 8);
+
+  // A complete frozen table: pointers into externally owned (typically mmap'd) memory
+  // that must outlive the adopting interner.
+  struct FrozenView {
+    const char* name_bytes = nullptr;
+    size_t name_bytes_size = 0;
+    const FrozenEntry* entries = nullptr;
+    uint32_t entry_count = 0;
+    const FrozenSlot* slots = nullptr;
+    uint64_t table_capacity = 0;
+    bool fold_case = false;
+  };
+
   NameInterner();  // owns a private arena
   explicit NameInterner(Options options);
   // Shares `arena` (which must outlive the interner); names and tables live there.
@@ -66,7 +103,14 @@ class NameInterner {
   NameInterner(const NameInterner&) = delete;
   NameInterner& operator=(const NameInterner&) = delete;
 
+  // A read-only interner running directly over frozen-layout arrays (see FrozenView).
+  // The backing memory must outlive the result.  Intern/StealTable are forbidden on
+  // the result; Find/View/Suffix/HasSuffix work without copying or allocating.
+  static NameInterner AdoptFrozen(const FrozenView& view);
+  bool frozen() const { return frozen_.entries != nullptr; }
+
   // Returns the id for `name`, interning (and case-normalizing) it if new.
+  // Forbidden on a frozen interner (asserts; degrades to Find in release builds).
   NameId Intern(std::string_view name);
 
   // Read-only lookup: the id for `name`, or kNoName.  Never allocates.
@@ -75,14 +119,30 @@ class NameInterner {
   // O(1) back-resolution.  The view/pointer is NUL-terminated, case-normalized, and
   // stable for the interner's lifetime.
   std::string_view View(NameId id) const {
+    if (frozen()) {
+      const FrozenEntry& entry = frozen_.entries[id];
+      return {frozen_.name_bytes + entry.bytes_offset, entry.length};
+    }
     const Entry& entry = entries_[id];
     return {entry.chars, entry.length};
   }
-  const char* CStr(NameId id) const { return entries_[id].chars; }
+  const char* CStr(NameId id) const {
+    return frozen() ? frozen_.name_bytes + frozen_.entries[id].bytes_offset
+                    : entries_[id].chars;
+  }
 
   // The next link of `id`'s precomputed domain-suffix chain: for "caip.rutgers.edu"
   // that is ".rutgers.edu", then ".edu", then kNoName.
-  NameId Suffix(NameId id) const { return entries_[id].suffix; }
+  NameId Suffix(NameId id) const {
+    return frozen() ? frozen_.entries[id].suffix : entries_[id].suffix;
+  }
+
+  // The full probe hash recorded for `id` at intern time — what ImageWriter freezes so
+  // an adopted table probes identically without ever re-hashing a string.
+  uint64_t HashOf(NameId id) const {
+    return frozen() ? frozen_.entries[id].hash : entries_[id].hash;
+  }
+  bool fold_case() const { return options_.fold_case; }
 
   // True if `id`'s name ends with the dot-prefixed domain `suffix` — an integer walk
   // of the chain, no byte comparisons.  A name is not a suffix of itself.
@@ -95,19 +155,20 @@ class NameInterner {
     return false;
   }
 
-  size_t size() const { return entries_.size(); }
-  uint64_t table_capacity() const { return capacity_; }
+  size_t size() const { return frozen() ? frozen_.entry_count : entries_.size(); }
+  uint64_t table_capacity() const { return frozen() ? frozen_.table_capacity : capacity_; }
   double load_factor() const {
-    return capacity_ == 0 ? 0.0
-                          : static_cast<double>(entries_.size()) / static_cast<double>(capacity_);
+    uint64_t capacity = table_capacity();
+    return capacity == 0 ? 0.0 : static_cast<double>(size()) / static_cast<double>(capacity);
   }
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
   bool stolen() const { return stolen_; }
-  Arena& arena() { return *arena_; }
+  Arena& arena() { return *arena_; }  // live interners only; a frozen one has no arena
 
   // Relinquishes the probe table (the mapper builds the shortest-path heap in it).
   // Ids, View and Suffix keep working; Find/Intern fall back to a linear scan.
+  // Forbidden on a frozen interner.
   std::pair<void*, size_t> StealTable();
 
   static constexpr double kHighWater = 0.79;
@@ -120,26 +181,28 @@ class NameInterner {
     uint64_t hash;      // full probe hash; growth reinserts without touching strings
   };
 
-  // 8-byte slots, 8-aligned so a stolen table can hold a PathLabel* heap directly.
-  struct alignas(8) Slot {
-    NameId id;      // kNoName == empty
-    uint32_t hash;  // cached; filters probes without touching string bytes
-  };
+  // The live table uses the frozen slot layout directly (8-byte, 8-aligned so a stolen
+  // table can hold a PathLabel* heap), which is what makes freezing a straight copy.
+  using Slot = FrozenSlot;
+
+  NameInterner(const FrozenView& view, Options options);  // AdoptFrozen backend
 
   uint64_t HashName(std::string_view name) const;
-  bool Equal(const Entry& entry, std::string_view name) const;
+  bool EqualName(NameId id, std::string_view name) const;
   // Index of the slot holding `name` (hash `k`), or of the empty slot where it belongs.
-  uint64_t ProbeFor(std::string_view name, uint64_t k) const;
+  uint64_t ProbeFor(const Slot* slots, uint64_t capacity, std::string_view name,
+                    uint64_t k) const;
   void Rehash(uint64_t new_capacity);
   NameId LinearFind(std::string_view name) const;
 
   std::unique_ptr<Arena> owned_arena_;
-  Arena* arena_;
+  Arena* arena_ = nullptr;
   Options options_;
   Slot* slots_ = nullptr;
   uint64_t capacity_ = 0;
   std::vector<Entry> entries_;
   FibonacciPrimes growth_;
+  FrozenView frozen_;  // non-null entries => adopt-read-only mode
   bool stolen_ = false;
   mutable Stats stats_;
 };

@@ -2,16 +2,21 @@
 //
 // The paper (§Output): "a separate program may be used to convert this file into a
 // format appropriate for rapid database retrieval."  This is that program, plus the
-// query side a delivery agent would call.
+// query side a delivery agent would call.  Two on-disk formats are supported: the cdb
+// image (parsed back into a live RouteSet at open) and the .pari frozen route image
+// (mmap'd and queried in place — no re-parsing, no re-interning; see src/image/).
 //
 // Usage:
-//   routedb build <routes.txt> <routes.cdb>     build the database
-//   routedb get   <routes.cdb> <host>           print the raw route for a host
-//   routedb resolve <routes.cdb> <address>...   resolve full addresses (domain-suffix
+//   routedb build  <routes.txt> <routes.cdb>    build the cdb database
+//   routedb freeze <routes.txt> <routes.pari>   freeze the mmap-able route image
+//   routedb get   [--image] <db> <host>         print the raw route for a host
+//   routedb resolve [--image] <db> <address>... resolve full addresses (domain-suffix
 //                                               lookup, rightmost-known rewriting)
-//   routedb batch <routes.cdb> [hosts.txt]      bulk host lookup, one per line (stdin
+//   routedb batch [--image] <db> [hosts.txt]    bulk host lookup, one per line (stdin
 //                                               if no file): "host<TAB>route-key" per
-//                                               hit, "host<TAB>*miss*" per miss
+//                                               hit, "host<TAB>*miss*" per miss;
+//                                               malformed queries are reported with
+//                                               their line number and skipped
 
 #include <fstream>
 #include <iostream>
@@ -19,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "src/image/frozen_route_set.h"
+#include "src/image/image_writer.h"
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
 
@@ -26,34 +33,148 @@ namespace {
 
 int Usage() {
   std::cerr << "usage: routedb build <routes.txt> <routes.cdb>\n"
-               "       routedb get <routes.cdb> <host>\n"
-               "       routedb resolve <routes.cdb> <address>...\n"
-               "       routedb batch <routes.cdb> [hosts.txt]\n";
+               "       routedb freeze <routes.txt> <routes.pari>\n"
+               "       routedb get [--image] <db> <host>\n"
+               "       routedb resolve [--image] <db> <address>...\n"
+               "       routedb batch [--image] <db> [hosts.txt]\n";
   return 2;
 }
 
-// Bulk delivery scan: the whole list goes through Resolver::ResolveBatch in one call.
-int RunBatch(const pathalias::RouteSet& routes, std::istream& in) {
-  std::vector<std::string> hosts;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty()) {
-      hosts.push_back(line);
+// A valid batch query is a non-empty run of printable, non-blank ASCII (host names and
+// domain keys are).  Anything else gets a per-line diagnostic instead of poisoning the
+// rest of the batch.
+const char* QueryDefect(const std::string& line) {
+  for (unsigned char c : line) {
+    if (c == ' ' || c == '\t') {
+      return "contains whitespace";
     }
+    if (c < 0x21 || c > 0x7e) {
+      return "contains a control or non-ASCII byte";
+    }
+  }
+  return nullptr;
+}
+
+// Echoing a malformed line verbatim would corrupt the 2-column TSV output (that is
+// what made it malformed); tabs and control/non-ASCII bytes become '?' so downstream
+// `cut -f2`-style joins still see exactly two fields.
+std::string SanitizeForTsv(const std::string& line) {
+  std::string out = line;
+  for (char& c : out) {
+    unsigned char byte = static_cast<unsigned char>(c);
+    if (byte == '\t' || byte < 0x20 || byte > 0x7e) {
+      c = '?';
+    }
+  }
+  return out;
+}
+
+// Bulk delivery scan: the well-formed queries go through ResolveBatch in one call;
+// malformed lines are reported with their line number and skipped.  Output is one line
+// per input line (misses and malformed queries included), so the stream stays aligned
+// with the input for downstream joins.
+template <typename RouteSourceT>
+int RunBatch(const RouteSourceT& routes, std::istream& in, const char* input_name) {
+  std::vector<std::string> hosts;
+  std::vector<int> line_numbers;
+  std::vector<std::pair<int, std::string>> malformed;  // line number, raw text
+  std::string line;
+  int line_number = 0;
+  size_t malformed_count = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) {
+      continue;
+    }
+    if (const char* defect = QueryDefect(line)) {
+      std::cerr << "routedb: " << input_name << ":" << line_number << ": malformed query ("
+                << defect << "); skipped\n";
+      malformed.emplace_back(line_number, SanitizeForTsv(line));
+      ++malformed_count;
+      continue;
+    }
+    hosts.push_back(line);
+    line_numbers.push_back(line_number);
   }
   std::vector<std::string_view> queries(hosts.begin(), hosts.end());
   std::vector<pathalias::BatchLookup> results(queries.size());
-  pathalias::Resolver resolver(&routes, pathalias::ResolveOptions{});
+  pathalias::BasicResolver<RouteSourceT> resolver(&routes, pathalias::ResolveOptions{});
   size_t resolved = resolver.ResolveBatch(queries, results);
+  size_t next_malformed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
-    if (results[i].route != nullptr) {
+    // Interleave the malformed lines back at their original positions.
+    while (next_malformed < malformed.size() &&
+           malformed[next_malformed].first < line_numbers[i]) {
+      std::cout << malformed[next_malformed].second << "\t*malformed*\n";
+      ++next_malformed;
+    }
+    if (results[i].route.ok()) {
       std::cout << queries[i] << "\t" << routes.names().View(results[i].via) << "\n";
     } else {
       std::cout << queries[i] << "\t*miss*\n";
     }
   }
-  std::cerr << "routedb: " << resolved << "/" << queries.size() << " resolved\n";
+  while (next_malformed < malformed.size()) {
+    std::cout << malformed[next_malformed].second << "\t*malformed*\n";
+    ++next_malformed;
+  }
+  std::cerr << "routedb: " << resolved << "/" << queries.size() << " resolved";
+  if (malformed_count > 0) {
+    std::cerr << ", " << malformed_count << " malformed";
+  }
+  std::cerr << "\n";
   return 0;
+}
+
+template <typename RouteSourceT>
+int RunGet(const RouteSourceT& routes, const char* host) {
+  pathalias::RouteView route = routes.FindRouteView(std::string_view(host));
+  if (!route.ok()) {
+    std::cerr << "routedb: no route to " << host << "\n";
+    return 1;
+  }
+  std::cout << route.route << "\n";
+  return 0;
+}
+
+template <typename RouteSourceT>
+int RunResolve(const RouteSourceT& routes, int argc, char** argv, int first) {
+  pathalias::ResolveOptions options;
+  options.optimize = pathalias::ResolveOptions::Optimize::kRightmostKnown;
+  pathalias::BasicResolver<RouteSourceT> resolver(&routes, options);
+  int failures = 0;
+  for (int i = first; i < argc; ++i) {
+    pathalias::Resolution resolution = resolver.Resolve(argv[i]);
+    if (resolution.ok) {
+      std::cout << argv[i] << "\t" << resolution.route << "\t(via " << resolution.via
+                << ")\n";
+    } else {
+      std::cout << argv[i] << "\t*error* " << resolution.error << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+// Dispatches get/resolve/batch to the cdb-backed RouteSet or the mmap'd image.
+template <typename RouteSourceT>
+int RunQueryCommand(const std::string& command, const RouteSourceT& routes, int argc,
+                    char** argv, int first) {
+  if (command == "get") {
+    return RunGet(routes, argv[first]);
+  }
+  if (command == "resolve") {
+    return RunResolve(routes, argc, argv, first);
+  }
+  if (first >= argc) {
+    return RunBatch(routes, std::cin, "<stdin>");
+  }
+  std::ifstream in(argv[first]);
+  if (!in) {
+    std::cerr << "routedb: cannot open " << argv[first] << "\n";
+    return 1;
+  }
+  return RunBatch(routes, in, argv[first]);
 }
 
 }  // namespace
@@ -63,7 +184,7 @@ int main(int argc, char** argv) {
     return Usage();
   }
   std::string command = argv[1];
-  if (command == "build") {
+  if (command == "build" || command == "freeze") {
     if (argc != 4) {
       return Usage();
     }
@@ -76,65 +197,62 @@ int main(int argc, char** argv) {
     buffer << in.rdbuf();
     pathalias::Diagnostics diag;
     pathalias::RouteSet routes = pathalias::RouteSet::FromText(buffer.str(), &diag);
-    if (!routes.WriteCdbFile(argv[3])) {
+    if (command == "build") {
+      if (!routes.WriteCdbFile(argv[3])) {
+        std::cerr << "routedb: cannot write " << argv[3] << "\n";
+        return 1;
+      }
+      std::cerr << "routedb: " << routes.size() << " routes written\n";
+      return 0;
+    }
+    if (!pathalias::image::ImageWriter::WriteFile(routes, argv[3])) {
       std::cerr << "routedb: cannot write " << argv[3] << "\n";
       return 1;
     }
-    std::cerr << "routedb: " << routes.size() << " routes written\n";
+    // Re-open with the checksum pass: a freeze that cannot be read back is a failure
+    // now, not at delivery time.
+    std::string error;
+    auto reopened = pathalias::FrozenImage::Open(
+        argv[3], pathalias::image::ImageView::Verify::kChecksum, &error);
+    if (!reopened) {
+      std::cerr << "routedb: frozen image fails verification: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "routedb: " << routes.size() << " routes ("
+              << reopened->routes().names().size() << " names) frozen\n";
     return 0;
   }
-  if (command == "batch") {
-    if (argc != 3 && argc != 4) {
+  if (command == "get" || command == "resolve" || command == "batch") {
+    int arg = 2;
+    bool use_image = arg < argc && std::string(argv[arg]) == "--image";
+    if (use_image) {
+      ++arg;
+    }
+    if (arg >= argc) {
       return Usage();
     }
-    auto routes = pathalias::RouteSet::OpenCdbFile(argv[2]);
-    if (!routes) {
-      std::cerr << "routedb: cannot read " << argv[2] << "\n";
-      return 1;
-    }
-    if (argc == 3) {
-      return RunBatch(*routes, std::cin);
-    }
-    std::ifstream in(argv[3]);
-    if (!in) {
-      std::cerr << "routedb: cannot open " << argv[3] << "\n";
-      return 1;
-    }
-    return RunBatch(*routes, in);
-  }
-  if (command == "get" || command == "resolve") {
-    if (argc < 4) {
+    const char* db_path = argv[arg++];
+    // get/resolve need at least one operand; batch's operand is optional (stdin).
+    if (command != "batch" && arg >= argc) {
       return Usage();
     }
-    auto routes = pathalias::RouteSet::OpenCdbFile(argv[2]);
-    if (!routes) {
-      std::cerr << "routedb: cannot read " << argv[2] << "\n";
-      return 1;
-    }
-    if (command == "get") {
-      const pathalias::Route* route = routes->Find(argv[3]);
-      if (route == nullptr) {
-        std::cerr << "routedb: no route to " << argv[3] << "\n";
+    if (use_image) {
+      std::string error;
+      auto image = pathalias::FrozenImage::Open(
+          db_path, pathalias::image::ImageView::Verify::kStructure, &error);
+      if (!image) {
+        std::cerr << "routedb: cannot read " << db_path
+                  << (error.empty() ? "" : ": " + error) << "\n";
         return 1;
       }
-      std::cout << route->route << "\n";
-      return 0;
+      return RunQueryCommand(command, image->routes(), argc, argv, arg);
     }
-    pathalias::ResolveOptions options;
-    options.optimize = pathalias::ResolveOptions::Optimize::kRightmostKnown;
-    pathalias::Resolver resolver(&*routes, options);
-    int failures = 0;
-    for (int i = 3; i < argc; ++i) {
-      pathalias::Resolution resolution = resolver.Resolve(argv[i]);
-      if (resolution.ok) {
-        std::cout << argv[i] << "\t" << resolution.route << "\t(via " << resolution.via
-                  << ")\n";
-      } else {
-        std::cout << argv[i] << "\t*error* " << resolution.error << "\n";
-        ++failures;
-      }
+    auto routes = pathalias::RouteSet::OpenCdbFile(db_path);
+    if (!routes) {
+      std::cerr << "routedb: cannot read " << db_path << "\n";
+      return 1;
     }
-    return failures == 0 ? 0 : 1;
+    return RunQueryCommand(command, *routes, argc, argv, arg);
   }
   return Usage();
 }

@@ -289,6 +289,55 @@ TEST(Mapper, SecondRunFallsBackToOwnedHeap) {
   EXPECT_EQ(graph.Find("c")->cost, 150);
 }
 
+TEST(Mapper, TwoLabelHeapStealsDonatedTableWhenInternerTableIsTooSmall) {
+  // The ROADMAP note: two_label needs 2v+2 heap slots, the interner table only
+  // guarantees ~1.27v.  A retired table on the arena's donation list fills the gap.
+  Diagnostics diag;
+  Graph graph(&diag);
+  Parser parser(&graph);
+  std::string map;
+  constexpr int kHosts = 60;
+  for (int i = 0; i < kHosts; ++i) {
+    map += "h" + std::to_string(i) + "\th" + std::to_string((i + 1) % kHosts) + "(100)\n";
+  }
+  parser.ParseFile(InputFile{"m", map});
+  graph.SetLocal("h0");
+  size_t needed_slots = 2 * graph.node_count() + 2;
+  ASSERT_LT(graph.names().table_capacity(), needed_slots)
+      << "fixture must force the donation fallback";
+  // Plant a donated region big enough for the heap (stands in for a retired table).
+  size_t bytes = needed_slots * sizeof(void*) + 64;
+  graph.arena().Donate(graph.arena().Allocate(bytes, alignof(void*)), bytes);
+
+  MapOptions options;
+  options.two_label = true;
+  Mapper mapper(&graph, options);
+  Mapper::Result result = mapper.Run();
+  EXPECT_TRUE(result.heap_storage_reused);
+  EXPECT_TRUE(result.heap_storage_from_donation);
+  EXPECT_EQ(result.mapped_hosts, static_cast<size_t>(kHosts));
+  EXPECT_EQ(graph.Find("h1")->cost, 100);
+}
+
+TEST(Mapper, TwoLabelWithoutDonationStillMaps) {
+  // No donated region and a too-small table: reuse fails, the owned-heap path serves.
+  Diagnostics diag;
+  Graph graph(&diag);
+  Parser parser(&graph);
+  std::string map;
+  for (int i = 0; i < 60; ++i) {
+    map += "g" + std::to_string(i) + "\tg" + std::to_string((i + 1) % 60) + "(100)\n";
+  }
+  parser.ParseFile(InputFile{"m", map});
+  graph.SetLocal("g0");
+  MapOptions options;
+  options.two_label = true;
+  Mapper mapper(&graph, options);
+  Mapper::Result result = mapper.Run();
+  EXPECT_FALSE(result.heap_storage_from_donation);
+  EXPECT_EQ(result.mapped_hosts, 60u);
+}
+
 TEST(Mapper, MissingLocalHostIsAnError) {
   Diagnostics diag;
   Graph graph(&diag);

@@ -149,6 +149,100 @@ TEST_F(CliTest, RoutedbBuildGetResolveRoundTrip) {
   EXPECT_NE(batch.output.find("nowhere\t*miss*"), std::string::npos) << batch.output;
 }
 
+TEST_F(CliTest, RoutedbFreezeAndImageBackedQueries) {
+  std::string routes = (dir_ / "routes.txt").string();
+  std::string cdb = (dir_ / "routes.cdb").string();
+  std::string pari = (dir_ / "routes.pari").string();
+  ASSERT_EQ(RunCommand(std::string(PATHALIAS_BIN) + " -c -l unc -o " + routes + " " +
+                       map_path_)
+                .status,
+            0);
+  ASSERT_EQ(RunCommand(std::string(ROUTEDB_BIN) + " build " + routes + " " + cdb).status, 0);
+  CommandResult freeze =
+      RunCommand(std::string(ROUTEDB_BIN) + " freeze " + routes + " " + pari);
+  EXPECT_EQ(freeze.status, 0);
+  EXPECT_NE(freeze.output.find("frozen"), std::string::npos) << freeze.output;
+
+  CommandResult get =
+      RunCommand(std::string(ROUTEDB_BIN) + " get --image " + pari + " phs");
+  EXPECT_EQ(get.status, 0);
+  EXPECT_EQ(get.output, "duke!phs!%s\n");
+
+  CommandResult resolve =
+      RunCommand(std::string(ROUTEDB_BIN) + " resolve --image " + pari + " 'mit-ai!honey'");
+  EXPECT_EQ(resolve.status, 0);
+  EXPECT_NE(resolve.output.find("duke!research!ucbvax!honey@mit-ai"), std::string::npos)
+      << resolve.output;
+
+  // The acceptance bar: batch output from the image is byte-identical to the
+  // in-memory (cdb-parsed) path on the same query stream.
+  std::string hosts = (dir_ / "hosts.txt").string();
+  {
+    std::ofstream out(hosts);
+    out << "phs\nnowhere\nmit-ai\nducati.dealers.com\nresearch\n";
+  }
+  CommandResult live_batch =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch " + cdb + " " + hosts);
+  CommandResult image_batch =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch --image " + pari + " " + hosts);
+  EXPECT_EQ(live_batch.status, 0);
+  EXPECT_EQ(image_batch.status, 0);
+  EXPECT_EQ(live_batch.output, image_batch.output);
+
+  // A truncated image is rejected up front, not half-served.
+  std::string broken = (dir_ / "broken.pari").string();
+  {
+    std::ifstream in(pari, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    std::ofstream out(broken, std::ios::binary);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+  CommandResult rejected =
+      RunCommand(std::string(ROUTEDB_BIN) + " get --image " + broken + " phs");
+  EXPECT_NE(rejected.status, 0);
+  EXPECT_NE(rejected.output.find("cannot read"), std::string::npos) << rejected.output;
+}
+
+TEST_F(CliTest, RoutedbBatchReportsMalformedLinesAndContinues) {
+  std::string routes = (dir_ / "routes.txt").string();
+  std::string cdb = (dir_ / "routes.cdb").string();
+  ASSERT_EQ(RunCommand(std::string(PATHALIAS_BIN) + " -c -l unc -o " + routes + " " +
+                       map_path_)
+                .status,
+            0);
+  ASSERT_EQ(RunCommand(std::string(ROUTEDB_BIN) + " build " + routes + " " + cdb).status, 0);
+  std::string hosts = (dir_ / "hosts.txt").string();
+  {
+    std::ofstream out(hosts);
+    out << "phs\n"
+           "not a hostname\n"   // line 2: embedded spaces
+           "duke\n"
+           "bad\thost\n"        // line 4: embedded tab
+           "research\n";
+  }
+  CommandResult batch =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch " + cdb + " " + hosts);
+  EXPECT_EQ(batch.status, 0) << batch.output;
+  // Every malformed line is pinpointed by number on stderr...
+  EXPECT_NE(batch.output.find(hosts + ":2: malformed query"), std::string::npos)
+      << batch.output;
+  EXPECT_NE(batch.output.find(hosts + ":4: malformed query"), std::string::npos)
+      << batch.output;
+  // ...marked in the output stream at its original position (tabs sanitized so the
+  // stream stays a 2-column TSV)...
+  EXPECT_NE(batch.output.find("not a hostname\t*malformed*"), std::string::npos)
+      << batch.output;
+  EXPECT_NE(batch.output.find("bad?host\t*malformed*"), std::string::npos)
+      << batch.output;
+  // ...and the rest of the batch still resolves.
+  EXPECT_NE(batch.output.find("phs\tphs"), std::string::npos) << batch.output;
+  EXPECT_NE(batch.output.find("duke\tduke"), std::string::npos) << batch.output;
+  EXPECT_NE(batch.output.find("research\tresearch"), std::string::npos) << batch.output;
+  EXPECT_NE(batch.output.find("3/3 resolved, 2 malformed"), std::string::npos)
+      << batch.output;
+}
+
 TEST_F(CliTest, MapgenSmallWritesParseableFiles) {
   std::string out_dir = (dir_ / "maps").string();
   CommandResult gen =

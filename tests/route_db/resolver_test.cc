@@ -179,8 +179,8 @@ TEST(Resolver, LookupReturnsViewIntoRouteSetStorage) {
   RouteSet routes = PaperRoutes();
   Resolver resolver = MakeResolver(routes);
   std::string_view matched;
-  const Route* route = resolver.Lookup("caip.rutgers.edu", &matched);
-  ASSERT_NE(route, nullptr);
+  RouteView route = resolver.Lookup("caip.rutgers.edu", &matched);
+  ASSERT_TRUE(route.ok());
   EXPECT_EQ(matched, ".edu");
   EXPECT_EQ(matched.data(), routes.names().View(routes.names().Find(".edu")).data())
       << "matched key is the interner's copy, not an allocation";
@@ -201,22 +201,22 @@ TEST(Resolver, BatchMixedQueries) {
   std::vector<BatchLookup> results(hosts.size());
   EXPECT_EQ(resolver.ResolveBatch(hosts, results), 4u);
 
-  ASSERT_NE(results[0].route, nullptr);
+  ASSERT_TRUE(results[0].route.ok());
   EXPECT_EQ(routes.names().View(results[0].via), "phs");
   EXPECT_FALSE(results[0].suffix_match);
 
-  ASSERT_NE(results[1].route, nullptr);
+  ASSERT_TRUE(results[1].route.ok());
   EXPECT_EQ(routes.names().View(results[1].via), ".rutgers.edu");
   EXPECT_TRUE(results[1].suffix_match);
 
-  ASSERT_NE(results[2].route, nullptr);
+  ASSERT_TRUE(results[2].route.ok());
   EXPECT_EQ(routes.names().View(results[2].via), ".edu");
   EXPECT_TRUE(results[2].suffix_match);
 
-  EXPECT_EQ(results[3].route, nullptr);
-  EXPECT_EQ(results[4].route, nullptr);
+  EXPECT_FALSE(results[3].route.ok());
+  EXPECT_FALSE(results[4].route.ok());
 
-  ASSERT_NE(results[5].route, nullptr);
+  ASSERT_TRUE(results[5].route.ok());
   EXPECT_EQ(routes.names().View(results[5].via), ".edu");
   EXPECT_FALSE(results[5].suffix_match);
 }
@@ -231,9 +231,11 @@ TEST(Resolver, BatchAgreesWithSingleLookupOnEveryQuery) {
   resolver.ResolveBatch(hosts, results);
   for (size_t i = 0; i < hosts.size(); ++i) {
     std::string_view matched;
-    const Route* single = resolver.Lookup(hosts[i], &matched);
-    EXPECT_EQ(single, results[i].route) << hosts[i];
-    if (single != nullptr) {
+    RouteView single = resolver.Lookup(hosts[i], &matched);
+    EXPECT_EQ(single.ok(), results[i].route.ok()) << hosts[i];
+    EXPECT_EQ(single.name, results[i].route.name) << hosts[i];
+    EXPECT_EQ(single.route, results[i].route.route) << hosts[i];
+    if (single.ok()) {
       EXPECT_EQ(matched, routes.names().View(results[i].via)) << hosts[i];
     }
   }

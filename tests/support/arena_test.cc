@@ -87,6 +87,29 @@ TEST(Arena, DonatedRegionIsReused) {
   EXPECT_LT(reused, static_cast<void*>(region + 8192));
 }
 
+TEST(Arena, TakeDonationReturnsLargestFitAndRemovesIt) {
+  Arena arena;
+  char* small = static_cast<char*>(arena.Allocate(2048));
+  char* large = static_cast<char*>(arena.Allocate(8192));
+  arena.Donate(small, 2048);
+  arena.Donate(large, 8192);
+
+  auto [taken, taken_bytes] = arena.TakeDonation(4096);
+  EXPECT_EQ(taken, static_cast<void*>(large));
+  EXPECT_EQ(taken_bytes, 8192u);
+  EXPECT_EQ(arena.stats().donations_taken, 1u);
+
+  // Gone from the list: the same request now finds nothing...
+  auto [again, again_bytes] = arena.TakeDonation(4096);
+  EXPECT_EQ(again, nullptr);
+  EXPECT_EQ(again_bytes, 0u);
+
+  // ...but the smaller donation is still available for requests it can satisfy.
+  auto [second, second_bytes] = arena.TakeDonation(1024);
+  EXPECT_EQ(second, static_cast<void*>(small));
+  EXPECT_EQ(second_bytes, 2048u);
+}
+
 TEST(Arena, TinyDonationsAreDiscarded) {
   Arena arena;
   char buffer[32];
