@@ -20,8 +20,11 @@
 #include <optional>
 #include <span>
 
+#include <thread>
+
 #include "bench/bench_util.h"
 #include "src/core/pathalias.h"
+#include "src/exec/batch_engine.h"
 #include "src/image/frozen_route_set.h"
 #include "src/image/image_writer.h"
 #include "src/route_db/resolver.h"
@@ -47,6 +50,26 @@ struct Fixture {
   // (suffix-chain fallbacks), and outright misses — as views over one string pool.
   std::vector<std::string> batch_pool;
   std::vector<std::string_view> batch_queries;
+  // Hot-set sweep workloads (the POI-alias traffic shape): views only — hot queries
+  // repeat a small set of known hosts, cold queries reuse the mixed pool's strings.
+  std::vector<std::string> hot_hosts;
+
+  // Builds a kBatchQueries-view workload where `hot_permille`/1000 of the queries
+  // cycle through the hot set and the rest walk the mixed pool.
+  std::vector<std::string_view> HotSetQueries(int hot_permille) const {
+    std::vector<std::string_view> queries;
+    queries.reserve(batch_queries.size());
+    size_t hot = 0;
+    size_t cold = 0;
+    for (size_t i = 0; i < batch_queries.size(); ++i) {
+      if (static_cast<int>(i % 1000) < hot_permille) {
+        queries.push_back(hot_hosts[hot++ % hot_hosts.size()]);
+      } else {
+        queries.push_back(batch_queries[cold++ % batch_queries.size()]);
+      }
+    }
+    return queries;
+  }
 };
 
 constexpr size_t kBatchQueries = 1000000;
@@ -115,6 +138,10 @@ const Fixture& GetFixture() {
     f->batch_queries.reserve(kBatchQueries);
     for (const std::string& query : f->batch_pool) {
       f->batch_queries.push_back(query);
+    }
+    // A 512-host hot set for the cache sweeps, spread across the route list.
+    for (size_t i = 0; i < hosts.size() && f->hot_hosts.size() < 512; i += 11) {
+      f->hot_hosts.push_back(hosts[i]);
     }
     return f;
   }();
@@ -225,6 +252,43 @@ void BM_FrozenBatchResolve(benchmark::State& state) {
   state.counters["resolved"] = static_cast<double>(resolved);
 }
 
+// The sharded engine over the same mixed batch: partition by destination hash, one
+// shard per thread, deterministic merge-back.  Arg(0) is the thread count.
+void BM_ParallelBatchResolve(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  exec::BatchEngineOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  exec::BatchEngine engine(&f.routes, options);
+  std::vector<BatchLookup> results(f.batch_queries.size());
+  size_t resolved = 0;
+  for (auto _ : state) {
+    resolved = engine.ResolveBatch(f.batch_queries, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * f.batch_queries.size()));
+  state.counters["resolved"] = static_cast<double>(resolved);
+  state.counters["threads"] = static_cast<double>(options.threads);
+}
+
+// The per-shard result cache on the hot-set traffic shape: Arg(0) is the hot
+// fraction in permille, Arg(1) the per-shard cache capacity (0 = off).
+void BM_HotSetBatchResolve(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  std::vector<std::string_view> queries = f.HotSetQueries(static_cast<int>(state.range(0)));
+  exec::BatchEngineOptions options;
+  options.cache_entries = static_cast<size_t>(state.range(1));
+  exec::BatchEngine engine(&f.routes, options);
+  std::vector<BatchLookup> results(queries.size());
+  size_t resolved = 0;
+  for (auto _ : state) {
+    resolved = engine.ResolveBatch(queries, results);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * queries.size()));
+  state.counters["resolved"] = static_cast<double>(resolved);
+  state.counters["hit_rate"] = engine.stats().hit_rate();
+}
+
 // Cold start, the consumer-scale pain the image exists to remove: what a mailer pays
 // before its first resolve.  The parse path re-parses the linear route file and
 // re-interns every key; the image path opens + mmaps + validates and resolves in place.
@@ -302,6 +366,80 @@ void WriteBenchJson() {
   }
   double frozen_qps = static_cast<double>(f.batch_queries.size()) / (frozen_best_ms / 1000.0);
 
+  // The sharded engine's scaling curve, both backends, cache off: same workload,
+  // same expected counts, threads 1/2/4/8.
+  struct ScalingPoint {
+    int threads;
+    double live_ms;
+    double frozen_ms;
+    size_t live_resolved;
+    size_t frozen_resolved;
+  };
+  std::vector<ScalingPoint> scaling;
+  for (int threads : {1, 2, 4, 8}) {
+    ScalingPoint point{threads, 0.0, 0.0, 0, 0};
+    exec::BatchEngineOptions options;
+    options.threads = threads;
+    exec::BatchEngine live_engine(&f.routes, options);
+    exec::FrozenBatchEngine frozen_engine(f.frozen.get(), options);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      bench::WallTimer live_timer;
+      point.live_resolved = live_engine.ResolveBatch(f.batch_queries, results);
+      double ms = live_timer.Ms();
+      if (pass == 0 || ms < point.live_ms) {
+        point.live_ms = ms;
+      }
+      bench::WallTimer frozen_timer;
+      point.frozen_resolved = frozen_engine.ResolveBatch(f.batch_queries, results);
+      ms = frozen_timer.Ms();
+      if (pass == 0 || ms < point.frozen_ms) {
+        point.frozen_ms = ms;
+      }
+    }
+    scaling.push_back(point);
+  }
+
+  // The hot-set cache sweep: the POI-alias traffic shape at three hot fractions,
+  // cache off vs a 64Ki-entry per-shard cache, single shard so the cache effect is
+  // isolated from parallelism.
+  struct SweepPoint {
+    int hot_permille;
+    double off_ms;
+    double on_ms;
+    double hit_rate;
+    size_t off_resolved;
+    size_t on_resolved;
+  };
+  // Sized to hold the whole hot set with slack while the sets stay L2-resident —
+  // a cache bigger than L2 loses more to probe misses than the skipped walk saves.
+  constexpr size_t kSweepCacheEntries = 4096;
+  std::vector<SweepPoint> sweep;
+  for (int hot_permille : {500, 900, 990}) {
+    SweepPoint point{hot_permille, 0.0, 0.0, 0.0, 0, 0};
+    std::vector<std::string_view> queries = f.HotSetQueries(hot_permille);
+    exec::BatchEngineOptions off_options;
+    exec::BatchEngine off_engine(&f.routes, off_options);
+    exec::BatchEngineOptions on_options;
+    on_options.cache_entries = kSweepCacheEntries;
+    exec::BatchEngine on_engine(&f.routes, on_options);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      bench::WallTimer off_timer;
+      point.off_resolved = off_engine.ResolveBatch(queries, results);
+      double ms = off_timer.Ms();
+      if (pass == 0 || ms < point.off_ms) {
+        point.off_ms = ms;
+      }
+      bench::WallTimer on_timer;
+      point.on_resolved = on_engine.ResolveBatch(queries, results);
+      ms = on_timer.Ms();
+      if (pass == 0 || ms < point.on_ms) {
+        point.on_ms = ms;
+      }
+    }
+    point.hit_rate = on_engine.stats().hit_rate();
+    sweep.push_back(point);
+  }
+
   // Cold start: parse+intern the route text vs open+mmap the image, each through its
   // first resolve, best of kPasses.
   double parse_ms = 0.0;
@@ -371,6 +509,60 @@ void WriteBenchJson() {
   std::fprintf(out, "    \"matches_live_resolved\": %s\n",
                frozen_resolved == resolved ? "true" : "false");
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"parallel_batch\": {\n");
+  std::fprintf(out, "    \"note\": \"sharded batch engine (src/exec), cache off: "
+                    "partition by destination hash, one shard per thread, output "
+                    "byte-identical to the serial path; hardware_threads is what this "
+                    "container exposes — scaling flattens at that line\",\n");
+  std::fprintf(out, "    \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(out, "    \"serial_reference_resolved\": %zu,\n", resolved);
+  std::fprintf(out, "    \"scaling\": [\n");
+  for (size_t i = 0; i < scaling.size(); ++i) {
+    const auto& point = scaling[i];
+    std::fprintf(out,
+                 "      {\"threads\": %d, \"live_best_wall_ms\": %.3f, "
+                 "\"live_queries_per_second\": %.0f, \"frozen_best_wall_ms\": %.3f, "
+                 "\"frozen_queries_per_second\": %.0f, \"resolved\": %zu, "
+                 "\"matches_serial_resolved\": %s}%s\n",
+                 point.threads, point.live_ms,
+                 static_cast<double>(f.batch_queries.size()) / (point.live_ms / 1000.0),
+                 point.frozen_ms,
+                 static_cast<double>(f.batch_queries.size()) / (point.frozen_ms / 1000.0),
+                 point.live_resolved,
+                 (point.live_resolved == resolved && point.frozen_resolved == frozen_resolved)
+                     ? "true"
+                     : "false",
+                 i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"speedup_8_threads_vs_1\": %.2f\n",
+               scaling.back().live_ms > 0.0 ? scaling.front().live_ms / scaling.back().live_ms
+                                            : 0.0);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"cache_sweep\": {\n");
+  std::fprintf(out, "    \"note\": \"hot-set workloads (hot_permille/1000 of queries "
+                    "cycle a %zu-host hot set), one shard, per-shard CLOCK cache of "
+                    "%zu entries vs cache off; identical resolved counts by "
+                    "construction\",\n",
+               f.hot_hosts.size(), kSweepCacheEntries);
+  std::fprintf(out, "    \"points\": [\n");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& point = sweep[i];
+    std::fprintf(out,
+                 "      {\"hot_permille\": %d, \"cache_off_best_wall_ms\": %.3f, "
+                 "\"cache_off_queries_per_second\": %.0f, \"cache_on_best_wall_ms\": %.3f, "
+                 "\"cache_on_queries_per_second\": %.0f, \"hit_rate\": %.4f, "
+                 "\"speedup\": %.2f, \"matches_resolved\": %s}%s\n",
+                 point.hot_permille, point.off_ms,
+                 static_cast<double>(f.batch_queries.size()) / (point.off_ms / 1000.0),
+                 point.on_ms,
+                 static_cast<double>(f.batch_queries.size()) / (point.on_ms / 1000.0),
+                 point.hit_rate, point.on_ms > 0.0 ? point.off_ms / point.on_ms : 0.0,
+                 point.off_resolved == point.on_resolved ? "true" : "false",
+                 i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"cold_start\": {\n");
   std::fprintf(out, "    \"note\": \"startup through first resolve: parse+intern the "
                     "route text vs open+mmap+validate the frozen image; best of %d\",\n",
@@ -405,6 +597,19 @@ void WriteBenchJson() {
   std::printf("frozen image: %.2fM queries/s steady-state; cold start %.3f ms vs "
               "%.3f ms parse+intern (%.1fx)\n",
               frozen_qps / 1e6, image_ms, parse_ms, image_ms > 0.0 ? parse_ms / image_ms : 0.0);
+  std::printf("parallel engine (%u hardware threads): ", std::thread::hardware_concurrency());
+  for (const auto& point : scaling) {
+    std::printf("%dT %.1fM q/s%s", point.threads,
+                static_cast<double>(f.batch_queries.size()) / point.live_ms / 1000.0,
+                point.threads == 8 ? "\n" : ", ");
+  }
+  for (const auto& point : sweep) {
+    std::printf("cache sweep %d%% hot: %.1fM -> %.1fM q/s (%.2fx, hit rate %.3f)\n",
+                point.hot_permille / 10,
+                static_cast<double>(f.batch_queries.size()) / point.off_ms / 1000.0,
+                static_cast<double>(f.batch_queries.size()) / point.on_ms / 1000.0,
+                point.on_ms > 0.0 ? point.off_ms / point.on_ms : 0.0, point.hit_rate);
+  }
 }
 
 }  // namespace
@@ -419,6 +624,14 @@ BENCHMARK(BM_ResolveTrace)->Name("resolve_trace/rightmost_known")->Arg(1)
 BENCHMARK(BM_BatchResolve)->Name("resolve_batch/mixed_1e6")->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FrozenBatchResolve)
     ->Name("resolve_batch/frozen_image_1e6")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParallelBatchResolve)
+    ->Name("resolve_batch/sharded")
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HotSetBatchResolve)
+    ->Name("resolve_batch/hot_set")
+    ->Args({900, 0})->Args({900, 4096})->Args({990, 0})->Args({990, 4096})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ColdStartParseIntern)
     ->Name("cold_start/parse_intern")

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_resolver.json files and print a markdown delta table.
+
+Usage: bench_delta.py <committed.json> <fresh.json>
+
+Walks both documents, pairs up every numeric leaf present in both (dotted paths;
+list elements are matched by index), and prints one row per metric with the
+relative change.  Throughput-like metrics (queries_per_second, speedup, hit_rate,
+*_per_second) regress when they go DOWN; latency-like metrics (*_ms, *_bytes)
+regress when they go UP.  Regressions beyond the threshold get a warning marker so
+they stand out in the CI job summary — the job does not fail on them (runner
+hardware varies); the table is the reviewable artifact.
+
+Exit status: 0 always, unless an input file is missing or unparsable.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.10  # relative change that earns a warning marker
+
+LOWER_IS_BETTER = ("_ms", "_bytes")
+HIGHER_IS_BETTER = ("_per_second", "speedup", "hit_rate", "resolved", "queries")
+
+
+def numeric_leaves(node, prefix=""):
+    """Yields (dotted_path, value) for every int/float leaf."""
+    if isinstance(node, dict):
+        for key, value in node.items():
+            yield from numeric_leaves(value, f"{prefix}{key}.")
+    elif isinstance(node, list):
+        for index, value in enumerate(node):
+            yield from numeric_leaves(value, f"{prefix}{index}.")
+    elif isinstance(node, bool):
+        return  # bools are ints in Python; not metrics
+    elif isinstance(node, (int, float)):
+        yield prefix.rstrip("."), node
+
+
+def direction(path):
+    leaf = path.rsplit(".", 1)[-1]
+    if any(leaf.endswith(suffix) for suffix in LOWER_IS_BETTER):
+        return -1  # an increase is a regression
+    if any(leaf.endswith(suffix) or leaf == suffix.strip("_") for suffix in HIGHER_IS_BETTER):
+        return +1  # a decrease is a regression
+    return 0  # counts and configuration: report, never flag
+
+
+def fmt(value):
+    if isinstance(value, float) and value != int(value):
+        return f"{value:,.3f}"
+    return f"{int(value):,}"
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        with open(sys.argv[1]) as committed_file:
+            committed = json.load(committed_file)
+        with open(sys.argv[2]) as fresh_file:
+            fresh = json.load(fresh_file)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.stderr.write(f"bench_delta: {error}\n")
+        return 2
+
+    committed_leaves = dict(numeric_leaves(committed))
+    fresh_leaves = dict(numeric_leaves(fresh))
+    shared = [path for path in committed_leaves if path in fresh_leaves]
+
+    print("### BENCH_resolver.json: committed vs this build\n")
+    hw_path = "parallel_batch.hardware_threads"
+    if committed_leaves.get(hw_path) != fresh_leaves.get(hw_path):
+        print(f"> ⚠️ **hardware mismatch**: committed numbers came from a "
+              f"{committed_leaves.get(hw_path)}-thread machine, this run has "
+              f"{fresh_leaves.get(hw_path)} — scaling and throughput rows are not "
+              f"comparable; treat this table as a re-baseline, not a regression check.\n")
+    print("| metric | committed | fresh | delta |")
+    print("|---|---:|---:|---:|")
+    warnings = 0
+    for path in shared:
+        old, new = committed_leaves[path], fresh_leaves[path]
+        if old == 0:
+            delta_text = "n/a" if new != 0 else "0%"
+            marker = ""
+        else:
+            delta = (new - old) / old
+            sign = direction(path)
+            regressed = sign != 0 and sign * delta < -THRESHOLD
+            warnings += regressed
+            marker = " ⚠️" if regressed else ""
+            delta_text = f"{delta:+.1%}"
+        print(f"| `{path}` | {fmt(old)} | {fmt(new)} | {delta_text}{marker} |")
+
+    only_fresh = sorted(set(fresh_leaves) - set(committed_leaves))
+    if only_fresh:
+        print(f"\n{len(only_fresh)} new metric(s) not in the committed file: "
+              + ", ".join(f"`{path}`" for path in only_fresh[:10])
+              + ("…" if len(only_fresh) > 10 else ""))
+    if warnings:
+        print(f"\n⚠️ {warnings} metric(s) regressed by more than {THRESHOLD:.0%}.")
+    else:
+        print("\nNo metric regressed by more than "
+              f"{THRESHOLD:.0%} (runner-to-runner noise notwithstanding).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,163 @@
+#include "src/exec/batch_engine.h"
+
+#include <algorithm>
+
+#include "src/image/frozen_route_set.h"
+#include "src/route_db/resolver.h"
+
+namespace pathalias {
+namespace exec {
+
+template <typename RouteSource>
+BasicBatchEngine<RouteSource>::BasicBatchEngine(const RouteSource* routes,
+                                                BatchEngineOptions options)
+    : routes_(routes),
+      options_(options),
+      resolver_(routes, options.resolve),
+      shards_(options.threads == 0 ? ThreadPool::HardwareWidth()
+                                   : std::max(1, options.threads)),
+      fold_case_(routes->names().fold_case()) {
+  if (shards_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(shards_);
+  }
+  if (options_.cache_entries > 0) {
+    caches_.reserve(static_cast<size_t>(shards_));
+    for (int shard = 0; shard < shards_; ++shard) {
+      caches_.emplace_back(options_.cache_entries);
+    }
+  }
+  shard_indices_.resize(static_cast<size_t>(shards_));
+  shard_resolved_.resize(static_cast<size_t>(shards_));
+}
+
+template <typename RouteSource>
+BasicBatchEngine<RouteSource>::~BasicBatchEngine() = default;
+
+template <typename RouteSource>
+uint32_t BasicBatchEngine<RouteSource>::ShardOf(std::string_view host) const {
+  // FNV-1a, folded to match the interner's normalization so "Duke" and "duke" shard
+  // together exactly when they intern together.
+  uint32_t hash = 2166136261u;
+  if (fold_case_) {
+    for (char c : host) {
+      hash = (hash ^ static_cast<unsigned char>(NameInterner::FoldChar(c))) * 16777619u;
+    }
+  } else {
+    for (unsigned char c : host) {
+      hash = (hash ^ c) * 16777619u;
+    }
+  }
+  // Fibonacci mix before the modulo: FNV's low bits are weak for short keys.
+  return static_cast<uint32_t>((static_cast<uint64_t>(hash) * 0x9E3779B97F4A7C15ull) >> 33) %
+         static_cast<uint32_t>(shards_);
+}
+
+template <typename RouteSource>
+void BasicBatchEngine<RouteSource>::ResolveOneInto(std::string_view host,
+                                                   ResultCache* cache,
+                                                   BatchLookup* out) const {
+  NameId id = routes_->names().Find(host);
+  if (id == kNoName) {
+    *out = resolver_.LookupStranger(host);
+    return;
+  }
+  if (cache == nullptr) {
+    *out = resolver_.LookupInterned(id);
+    return;
+  }
+  if (cache->Get(id, out)) {
+    return;  // the stored result IS LookupInterned(id), negative outcomes included
+  }
+  *out = resolver_.LookupInterned(id);
+  cache->Put(id, *out);
+}
+
+template <typename RouteSource>
+size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_view> hosts,
+                                                   std::span<BatchLookup> results) {
+  size_t count = std::min(hosts.size(), results.size());
+  stats_.queries += count;
+  if (shards_ == 1 && caches_.empty()) {
+    // Nothing to partition and nothing to memoize: the serial resolver IS this path.
+    size_t resolved = resolver_.ResolveBatch(hosts.first(count), results.first(count));
+    stats_.resolved += resolved;
+    return resolved;
+  }
+
+  if (shards_ == 1) {
+    // One shard with the cache on: no partition pass, just the cached walk in order.
+    ResultCache* cache = &caches_.front();
+    size_t resolved = 0;
+    for (size_t i = 0; i < count; ++i) {
+      ResolveOneInto(hosts[i], cache, &results[i]);
+      if (results[i].route.ok()) {
+        ++resolved;
+      }
+    }
+    stats_.resolved += resolved;
+    stats_.cache_lookups = cache->stats().lookups;
+    stats_.cache_hits = cache->stats().hits;
+    return resolved;
+  }
+
+  if (caches_.empty()) {
+    // Cache off: destination affinity buys nothing, so skip the hash-partition pass
+    // entirely — balanced contiguous ranges resolve the same slots to the same bytes
+    // with sequential writeback instead of a scatter.
+    auto run_range = [&](int shard) {
+      size_t lo = count * static_cast<size_t>(shard) / static_cast<size_t>(shards_);
+      size_t hi = count * (static_cast<size_t>(shard) + 1) / static_cast<size_t>(shards_);
+      size_t resolved = 0;
+      for (size_t i = lo; i < hi; ++i) {
+        ResolveOneInto(hosts[i], nullptr, &results[i]);
+        if (results[i].route.ok()) {
+          ++resolved;
+        }
+      }
+      shard_resolved_[static_cast<size_t>(shard)] = resolved;
+    };
+    pool_->Run(shards_, run_range);  // shards_ > 1 here, so the pool exists
+  } else {
+    // Cache on: partition by destination so each shard's cache has a single owner
+    // and always gets asked the destinations it cached.
+    for (std::vector<uint32_t>& indices : shard_indices_) {
+      indices.clear();
+    }
+    for (size_t i = 0; i < count; ++i) {
+      shard_indices_[ShardOf(hosts[i])].push_back(static_cast<uint32_t>(i));
+    }
+    auto run_shard = [&](int shard) {
+      ResultCache* cache = &caches_[static_cast<size_t>(shard)];
+      size_t resolved = 0;
+      for (uint32_t index : shard_indices_[static_cast<size_t>(shard)]) {
+        ResolveOneInto(hosts[index], cache, &results[index]);
+        if (results[index].route.ok()) {
+          ++resolved;
+        }
+      }
+      shard_resolved_[static_cast<size_t>(shard)] = resolved;
+    };
+    pool_->Run(shards_, run_shard);
+  }
+
+  size_t resolved = 0;
+  for (size_t shard = 0; shard < static_cast<size_t>(shards_); ++shard) {
+    resolved += shard_resolved_[shard];
+  }
+  stats_.resolved += resolved;
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+  for (const ResultCache& cache : caches_) {
+    lookups += cache.stats().lookups;
+    hits += cache.stats().hits;
+  }
+  stats_.cache_lookups = lookups;  // ResultCache stats are already cumulative
+  stats_.cache_hits = hits;
+  return resolved;
+}
+
+template class BasicBatchEngine<RouteSet>;
+template class BasicBatchEngine<FrozenRouteSet>;
+
+}  // namespace exec
+}  // namespace pathalias

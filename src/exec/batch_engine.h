@@ -1,0 +1,124 @@
+// Sharded parallel batch resolution over any route source.
+//
+// BasicBatchEngine is the serving-path front end to BasicResolver::ResolveBatch: it
+// partitions a batch of destination queries into per-thread shards, resolves every
+// shard in parallel on a small fixed ThreadPool, memoizes interned-destination
+// results in a per-shard ResultCache, and writes each result back to its original
+// position — so the output is byte-identical to the serial resolver, at any thread
+// count, with the cache on or off.
+//
+// Sharding policy: with caching on, shard = mix(hash of the case-normalized query
+// bytes) % shards.  Hashing the bytes rather than the NameId keeps the partition
+// pass allocation-free and probe-free (no interner lookup until the owning shard
+// runs), while still sending every occurrence of a destination to the same shard —
+// which is what makes the per-shard caches both coherent without locks (single
+// owner) and effective (a hot destination's result is always in the cache that is
+// asked).  With caching off, affinity buys nothing, so shards are balanced
+// contiguous index ranges: no partition pass, sequential writeback, same bytes.
+//
+// Determinism: results[i] depends only on hosts[i] and the route source.  Shards
+// write disjoint result slots, misses included, so the merge-back is the partition
+// itself and the resolved/suffix-match counts equal the serial path's exactly.
+//
+// Concurrency contract: the route source is the shared object — any number of
+// engines (or raw resolvers) may read one RouteSet or one FrozenRouteSet mapping
+// concurrently.  One engine instance, however, serves one calling thread at a time:
+// ResolveBatch reuses the engine's partition and cache state.
+//
+// The same code serves both backends; like BasicResolver, the template is explicitly
+// instantiated in batch_engine.cc for RouteSet and FrozenRouteSet.
+
+#ifndef SRC_EXEC_BATCH_ENGINE_H_
+#define SRC_EXEC_BATCH_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "src/exec/result_cache.h"
+#include "src/exec/thread_pool.h"
+#include "src/route_db/resolver.h"
+#include "src/route_db/route_db.h"
+
+namespace pathalias {
+namespace exec {
+
+struct BatchEngineOptions {
+  int threads = 1;           // shard/thread count; 0 means "all hardware threads"
+  size_t cache_entries = 0;  // per-shard result cache capacity; 0 disables caching
+  ResolveOptions resolve;    // forwarded to the underlying resolver
+};
+
+// Cumulative counters across every batch the engine has served.
+struct BatchEngineStats {
+  uint64_t queries = 0;
+  uint64_t resolved = 0;
+  uint64_t cache_lookups = 0;  // interned queries that consulted a shard cache
+  uint64_t cache_hits = 0;     // ... and were answered from it
+
+  double hit_rate() const {
+    return cache_lookups == 0 ? 0.0
+                              : static_cast<double>(cache_hits) /
+                                    static_cast<double>(cache_lookups);
+  }
+};
+
+template <typename RouteSource>
+class BasicBatchEngine {
+ public:
+  BasicBatchEngine(const RouteSource* routes, BatchEngineOptions options);
+  ~BasicBatchEngine();
+
+  BasicBatchEngine(const BasicBatchEngine&) = delete;
+  BasicBatchEngine& operator=(const BasicBatchEngine&) = delete;
+
+  // Same contract as BasicResolver::ResolveBatch — resolves hosts[i] into results[i]
+  // over the common prefix of the two spans and returns the number that matched —
+  // with the same results, bit for bit.  Caches persist across calls: a server loop
+  // keeps its hot set warm from one batch to the next.
+  size_t ResolveBatch(std::span<const std::string_view> hosts,
+                      std::span<BatchLookup> results);
+
+  int shards() const { return shards_; }
+  size_t cache_entries_per_shard() const {
+    return caches_.empty() ? 0 : caches_.front().capacity();
+  }
+  const BatchEngineStats& stats() const { return stats_; }
+
+ private:
+  // The partition hash: FNV-1a over the query bytes, case-folded iff the route
+  // source's interner folds, then Fibonacci-mixed so low-entropy tails still spread.
+  uint32_t ShardOf(std::string_view host) const;
+
+  // Resolves one query on its owning shard directly into its result slot, through
+  // that shard's cache when the query is interned.  `cache` is null when caching is
+  // disabled.  Writing in place matters: a cache hit is one probe and one copy, so a
+  // second copy would be a measurable fraction of the whole cached path.
+  void ResolveOneInto(std::string_view host, ResultCache* cache, BatchLookup* out) const;
+
+  const RouteSource* routes_;
+  BatchEngineOptions options_;
+  BasicResolver<RouteSource> resolver_;
+  int shards_;
+  bool fold_case_;
+  std::unique_ptr<ThreadPool> pool_;        // null when shards_ == 1
+  std::vector<ResultCache> caches_;         // one per shard; empty when disabled
+  std::vector<std::vector<uint32_t>> shard_indices_;  // reused partition buffers
+  std::vector<size_t> shard_resolved_;      // per-shard hit counts, one write each
+  BatchEngineStats stats_;
+};
+
+// The two supported backends (FrozenRouteSet is forward-declared by resolver.h);
+// bodies are compiled once, in batch_engine.cc.
+using BatchEngine = BasicBatchEngine<RouteSet>;
+using FrozenBatchEngine = BasicBatchEngine<FrozenRouteSet>;
+
+extern template class BasicBatchEngine<RouteSet>;
+extern template class BasicBatchEngine<FrozenRouteSet>;
+
+}  // namespace exec
+}  // namespace pathalias
+
+#endif  // SRC_EXEC_BATCH_ENGINE_H_

@@ -1,0 +1,144 @@
+// A fixed-size cache of full batch-lookup results keyed by interned destination
+// NameId, with set-associative CLOCK replacement.
+//
+// The POI-alias observation (He et al., 2021; see PAPERS.md) holds for mail routing
+// too: resolution traffic is dominated by a small hot set of repeated destinations.
+// For a destination the interner knows, the entire walk that follows the initial hash
+// — exact-route probe, then the precomputed domain-suffix chain — is a pure function
+// of its NameId, so one cache probe replaces the whole thing, negative outcomes
+// included (a cached miss is as final as a cached route).  Strangers have no NameId
+// and are never cached; their dotted-suffix probing runs every time.
+//
+// Shape: `entries` slots organized as power-of-two sets of kWays ways.  Lookup probes
+// one set (at most kWays key compares, one cache line of keys); replacement is CLOCK
+// within the set — a hit arms the way's reference bit, the rotating hand evicts the
+// first unarmed way and disarms the armed ones it passes.  No linked lists, no
+// tombstones, no allocation after construction.
+//
+// Concurrency: none.  A ResultCache belongs to exactly one shard of one batch engine,
+// and a shard runs on one thread at a time — sharding by destination is what makes
+// this single-owner design safe AND maximizes hits (a destination always lands in the
+// same shard, so its cached result is always in the cache that is asked).
+//
+// Lifetime: cached BatchLookups hold views into the route source's storage (interner
+// bytes, route bytes — possibly an mmap'd .pari image).  The cache must not outlive
+// the route source, and Clear() must be called if the source is swapped.
+
+#ifndef SRC_EXEC_RESULT_CACHE_H_
+#define SRC_EXEC_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/route_db/resolver.h"
+#include "src/support/interner.h"
+
+namespace pathalias {
+namespace exec {
+
+class ResultCache {
+ public:
+  static constexpr size_t kWays = 4;
+
+  struct Stats {
+    uint64_t lookups = 0;
+    uint64_t hits = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  // `entries` is the requested capacity; it is rounded up to a whole power-of-two
+  // number of sets (so the real capacity is the next multiple of kWays whose set
+  // count is a power of two).  0 disables the cache entirely.
+  explicit ResultCache(size_t entries) {
+    if (entries == 0) {
+      return;
+    }
+    size_t sets = 1;
+    while (sets * kWays < entries) {
+      sets *= 2;
+    }
+    sets_.resize(sets);
+    set_mask_ = sets - 1;
+  }
+
+  bool enabled() const { return !sets_.empty(); }
+  size_t capacity() const { return sets_.size() * kWays; }
+  const Stats& stats() const { return stats_; }
+
+  // True and fills `out` if `key` is cached; arms the way's CLOCK reference bit.
+  bool Get(NameId key, BatchLookup* out) {
+    ++stats_.lookups;
+    Set& set = sets_[SetOf(key)];
+    for (size_t way = 0; way < kWays; ++way) {
+      if (set.keys[way] == key) {
+        set.armed[way] = 1;
+        *out = set.values[way];
+        ++stats_.hits;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Inserts (or refreshes) `key`.  The caller has just computed `value` with
+  // BasicResolver::LookupInterned, so `value` is THE result for `key` — a duplicate
+  // insert simply overwrites with identical bytes.
+  void Put(NameId key, const BatchLookup& value) {
+    Set& set = sets_[SetOf(key)];
+    size_t victim = kWays;  // first empty or matching way wins without the hand
+    for (size_t way = 0; way < kWays; ++way) {
+      if (set.keys[way] == key || set.keys[way] == kNoName) {
+        victim = way;
+        break;
+      }
+    }
+    if (victim == kWays) {
+      // CLOCK: march the hand, disarming armed ways, until an unarmed way turns up.
+      // Bounded: after at most kWays steps every way is disarmed.
+      for (;;) {
+        size_t way = set.hand;
+        set.hand = (set.hand + 1) % kWays;
+        if (set.armed[way] == 0) {
+          victim = way;
+          break;
+        }
+        set.armed[way] = 0;
+      }
+      ++stats_.evictions;
+    }
+    set.keys[victim] = key;
+    set.values[victim] = value;
+    set.armed[victim] = 1;
+    ++stats_.insertions;
+  }
+
+  void Clear() {
+    for (Set& set : sets_) {
+      set = Set{};
+    }
+  }
+
+ private:
+  struct Set {
+    NameId keys[kWays] = {kNoName, kNoName, kNoName, kNoName};
+    uint8_t armed[kWays] = {0, 0, 0, 0};  // CLOCK reference bits
+    uint8_t hand = 0;
+    BatchLookup values[kWays];
+  };
+
+  size_t SetOf(NameId key) const {
+    // Fibonacci scramble: NameIds are dense and small, so without mixing every hot id
+    // would land in the first few sets.
+    return (static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull >> 32) & set_mask_;
+  }
+
+  std::vector<Set> sets_;
+  size_t set_mask_ = 0;
+  Stats stats_;
+};
+
+}  // namespace exec
+}  // namespace pathalias
+
+#endif  // SRC_EXEC_RESULT_CACHE_H_

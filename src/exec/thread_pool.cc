@@ -1,0 +1,102 @@
+#include "src/exec/thread_pool.h"
+
+namespace pathalias {
+namespace exec {
+
+ThreadPool::ThreadPool(int width) : width_(width < 1 ? 1 : width) {
+  workers_.reserve(static_cast<size_t>(width_ - 1));
+  for (int i = 0; i < width_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+int ThreadPool::HardwareWidth() {
+  unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+int ThreadPool::Drain(const std::function<void(int)>& job, int jobs) {
+  int ran = 0;
+  for (;;) {
+    int index = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= jobs) {
+      return ran;
+    }
+    job(index);
+    ++ran;
+  }
+}
+
+void ThreadPool::Run(int jobs, const std::function<void(int)>& job) {
+  if (jobs <= 0) {
+    return;
+  }
+  if (workers_.empty()) {
+    for (int i = 0; i < jobs; ++i) {
+      job(i);
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    job_count_ = jobs;
+    next_index_.store(0, std::memory_order_relaxed);
+    completed_ = 0;
+    drained_ = 0;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  int ran = Drain(job, jobs);
+  std::unique_lock<std::mutex> lock(mu_);
+  completed_ += ran;
+  // Wait for the jobs AND for every worker to have left Drain for this generation.
+  // The second half is the load-bearing part: it guarantees no worker can wake late
+  // and claim indices (or dereference job_) after Run has returned and the engine has
+  // destroyed the job closure or started the next batch.
+  done_cv_.wait(lock, [this] {
+    return completed_ == job_count_ && drained_ == static_cast<int>(workers_.size());
+  });
+  job_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job;
+    int jobs;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+      jobs = job_count_;
+    }
+    int ran = Drain(*job, jobs);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      completed_ += ran;
+      ++drained_;
+      if (completed_ == job_count_ && drained_ == static_cast<int>(workers_.size())) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace exec
+}  // namespace pathalias

@@ -1,0 +1,71 @@
+// A small fixed thread pool with fork-join dispatch, sized once at construction.
+//
+// This is the execution substrate for the sharded batch engine (batch_engine.h): a
+// batch is split into one job per shard, Run() hands the jobs to the pool, and the
+// calling thread works alongside the workers instead of blocking — with W workers the
+// pool runs W+1 jobs at once and a width-1 pool is simply the caller, serial.  Workers
+// are started once and parked on a condition variable between batches, so steady-state
+// dispatch costs two lock handoffs per batch, not a thread spawn per shard.
+//
+// Concurrency contract: Run() may not be called concurrently with itself (the engine
+// serializes batches; one engine per serving thread).  Jobs must not call Run() on
+// their own pool.  Job indices are claimed from an atomic counter, so callers may
+// submit more jobs than the pool has lanes — the surplus queues naturally.
+
+#ifndef SRC_EXEC_THREAD_POOL_H_
+#define SRC_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pathalias {
+namespace exec {
+
+class ThreadPool {
+ public:
+  // `width` is total parallelism including the caller: width-1 workers are spawned.
+  // width < 1 is clamped to 1 (no workers; Run degenerates to a serial loop).
+  explicit ThreadPool(int width);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int width() const { return width_; }
+
+  // Runs job(0) … job(jobs-1) across the pool and returns when all have finished.
+  // The caller participates, so the pool is never idle while the caller spins.
+  void Run(int jobs, const std::function<void(int)>& job);
+
+  // The width to use when the caller asked for "all cores".
+  static int HardwareWidth();
+
+ private:
+  void WorkerLoop();
+  // Claims and runs jobs until the current batch's indices are exhausted; returns the
+  // number of jobs this thread completed.
+  int Drain(const std::function<void(int)>& job, int jobs);
+
+  const int width_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // batch posted (generation_ advanced) or stop
+  std::condition_variable done_cv_;   // all jobs of the current batch completed
+  const std::function<void(int)>* job_ = nullptr;  // valid while a batch is in flight
+  int job_count_ = 0;
+  std::atomic<int> next_index_{0};
+  int completed_ = 0;        // jobs finished this batch; guarded by mu_
+  int drained_ = 0;          // workers that left Drain this batch; guarded by mu_
+  uint64_t generation_ = 0;  // guarded by mu_; advanced once per Run()
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace exec
+}  // namespace pathalias
+
+#endif  // SRC_EXEC_THREAD_POOL_H_

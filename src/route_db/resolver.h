@@ -82,15 +82,34 @@ class BasicResolver {
   RouteView Lookup(std::string_view host, std::string_view* matched_key) const;
 
   // Bulk form of Lookup for mailer delivery scans: resolves hosts[i] into results[i]
-  // and returns the number that matched.  `results` must hold at least hosts.size()
-  // entries (asserted).  The domain-suffix walk rides the interner's precomputed
-  // suffix chains — after the single hash that locates the query name, misses and
-  // domain fallbacks are id-chasing with zero per-query allocations.
+  // and returns the number that matched.  Only the common prefix is processed: with
+  // results.size() < hosts.size() the surplus hosts are ignored (an empty span of
+  // either resolves nothing and returns 0).  A query with no routable shape — empty,
+  // all whitespace, undotted and unknown — is a plain miss, never an error.  The
+  // domain-suffix walk rides the interner's precomputed suffix chains — after the
+  // single hash that locates the query name, misses and domain fallbacks are
+  // id-chasing with zero per-query allocations.
   size_t ResolveBatch(std::span<const std::string_view> hosts,
                       std::span<BatchLookup> results) const;
 
+  // The per-query pieces ResolveBatch is made of, exposed for the sharded batch
+  // engine (src/exec), which hashes each query once and wants to memoize the walk
+  // that follows.  All three are const, allocation-free and mutate nothing, so any
+  // number of threads may call them against one route source concurrently.
+  //
+  // LookupInterned: the walk for a query the interner already knows, starting from
+  // its id (exact route, then the precomputed suffix chain).  The result is a pure
+  // function of `id` — what makes it cacheable under a NameId key.
+  BatchLookup LookupInterned(NameId id) const;
+  // LookupStranger: the walk for a query the interner does not know — probe its
+  // dotted suffixes until one is interned, then chase that chain.  There is no id to
+  // key a cache on; any hit is by definition a domain-suffix match.
+  BatchLookup LookupStranger(std::string_view host) const;
+  // LookupOne: Find + dispatch to the two above; exactly one ResolveBatch slot.
+  BatchLookup LookupOne(std::string_view host) const;
+
  private:
-  // Core walk shared by Lookup and ResolveBatch; fills `via` on a hit.
+  // Core walk shared by Lookup and Resolve; fills `via` on a hit.
   RouteView LookupId(std::string_view host, NameId* via) const;
 
   const RouteSource* routes_;

@@ -7,8 +7,7 @@
 #ifndef SRC_ROUTE_DB_RESOLVER_IMPL_H_
 #define SRC_ROUTE_DB_RESOLVER_IMPL_H_
 
-#include <cassert>
-
+#include <algorithm>
 #include <unordered_set>
 
 #include "src/core/route_printer.h"
@@ -42,41 +41,67 @@ inline std::string TailArgument(const std::vector<std::string>& path, size_t fir
 }  // namespace resolver_detail
 
 template <typename RouteSource>
-RouteView BasicResolver<RouteSource>::LookupId(std::string_view host, NameId* via) const {
-  const NameInterner& names = routes_->names();
-  NameId id = names.Find(host);
-  if (id != kNoName) {
-    // The query is a known name: the exact probe and the entire domain-suffix walk
-    // (caip.rutgers.edu → .rutgers.edu → .edu) are integer chases from here on.
-    if (RouteView route = routes_->FindRouteView(id)) {
-      *via = id;
-      return route;
-    }
-    for (NameId suffix = names.Suffix(id); suffix != kNoName; suffix = names.Suffix(suffix)) {
-      if (RouteView route = routes_->FindRouteView(suffix)) {
-        *via = suffix;
-        return route;
-      }
-    }
-    return RouteView{};
+BatchLookup BasicResolver<RouteSource>::LookupInterned(NameId id) const {
+  // The query is a known name: the exact probe and the entire domain-suffix walk
+  // (caip.rutgers.edu → .rutgers.edu → .edu) are integer chases from here on.
+  BatchLookup out;
+  if (RouteView route = routes_->FindRouteView(id)) {
+    out.route = route;
+    out.via = id;
+    return out;
   }
+  const NameInterner& names = routes_->names();
+  for (NameId suffix = names.Suffix(id); suffix != kNoName; suffix = names.Suffix(suffix)) {
+    if (RouteView route = routes_->FindRouteView(suffix)) {
+      out.route = route;
+      out.via = suffix;
+      // The interner never holds two ids with equal bytes, so a hit through the chain
+      // is a proper domain-suffix match — no string compare needed.
+      out.suffix_match = true;
+      return out;
+    }
+  }
+  return out;
+}
+
+template <typename RouteSource>
+BatchLookup BasicResolver<RouteSource>::LookupStranger(std::string_view host) const {
   // A stranger: probe its dotted suffixes until one is interned.  Interning any dotted
   // name interns its whole chain, so the first hit's chain covers every shorter suffix.
+  BatchLookup out;
+  const NameInterner& names = routes_->names();
   size_t dot = host.find('.', 1);
   while (dot != std::string_view::npos) {
     NameId suffix = names.Find(host.substr(dot));  // includes the leading '.'
     if (suffix != kNoName) {
       for (; suffix != kNoName; suffix = names.Suffix(suffix)) {
         if (RouteView route = routes_->FindRouteView(suffix)) {
-          *via = suffix;
-          return route;
+          out.route = route;
+          out.via = suffix;
+          out.suffix_match = true;  // the host itself is not in the database
+          return out;
         }
       }
-      return RouteView{};
+      return out;
     }
     dot = host.find('.', dot + 1);
   }
-  return RouteView{};
+  return out;
+}
+
+template <typename RouteSource>
+BatchLookup BasicResolver<RouteSource>::LookupOne(std::string_view host) const {
+  NameId id = routes_->names().Find(host);
+  return id != kNoName ? LookupInterned(id) : LookupStranger(host);
+}
+
+template <typename RouteSource>
+RouteView BasicResolver<RouteSource>::LookupId(std::string_view host, NameId* via) const {
+  BatchLookup result = LookupOne(host);
+  if (result.route.ok()) {
+    *via = result.via;
+  }
+  return result.route;
 }
 
 template <typename RouteSource>
@@ -93,15 +118,13 @@ RouteView BasicResolver<RouteSource>::Lookup(std::string_view host,
 template <typename RouteSource>
 size_t BasicResolver<RouteSource>::ResolveBatch(std::span<const std::string_view> hosts,
                                                 std::span<BatchLookup> results) const {
-  assert(results.size() >= hosts.size());
   size_t resolved = 0;
-  size_t count = hosts.size();
+  // Only the common prefix: a results span shorter than the hosts span truncates the
+  // batch rather than writing out of bounds (see the header contract).
+  size_t count = std::min(hosts.size(), results.size());
   for (size_t i = 0; i < count; ++i) {
-    BatchLookup& out = results[i];
-    out = BatchLookup{};
-    out.route = LookupId(hosts[i], &out.via);
-    if (out.route.ok()) {
-      out.suffix_match = routes_->names().View(out.via) != hosts[i];
+    results[i] = LookupOne(hosts[i]);
+    if (results[i].route.ok()) {
       ++resolved;
     }
   }

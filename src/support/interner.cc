@@ -4,13 +4,10 @@
 #include <cstring>
 
 namespace pathalias {
-namespace {
 
-inline char FoldChar(char c) {
-  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
-}
-
-}  // namespace
+// Case folding lives in the header now (NameInterner::FoldChar) so the batch
+// engine's shard hash can normalize identically; member bodies below call it
+// unqualified.
 
 NameInterner::NameInterner() : NameInterner(Options{}) {}
 
@@ -76,13 +73,15 @@ bool NameInterner::EqualName(NameId id, std::string_view name) const {
 }
 
 uint64_t NameInterner::ProbeFor(const Slot* slots, uint64_t capacity, std::string_view name,
-                                uint64_t k) const {
+                                uint64_t k, Stats* stats) const {
   uint64_t index = k % capacity;
   // The paper's secondary hash: T-2-(k mod T-2), range [1, T-2].
   uint64_t stride = capacity - 2 - (k % (capacity - 2));
   const uint32_t hash32 = static_cast<uint32_t>(k);
   for (;;) {
-    ++stats_.probes;
+    if (stats != nullptr) {
+      ++stats->probes;
+    }
     const Slot& slot = slots[index];
     if (slot.id == kNoName || (slot.hash == hash32 && EqualName(slot.id, name))) {
       return index;
@@ -138,12 +137,14 @@ NameId NameInterner::LinearFind(std::string_view name) const {
 }
 
 NameId NameInterner::Find(std::string_view name) const {
-  ++stats_.accesses;
+  // No stats here: the const lookup path writes nothing, which is what lets any
+  // number of reader threads share one table (or one mmap'd image) lock-free.
   if (frozen()) {
     if (frozen_.entry_count == 0 || frozen_.table_capacity < 5) {
       return kNoName;
     }
-    uint64_t index = ProbeFor(frozen_.slots, frozen_.table_capacity, name, HashName(name));
+    uint64_t index =
+        ProbeFor(frozen_.slots, frozen_.table_capacity, name, HashName(name), nullptr);
     return frozen_.slots[index].id;
   }
   if (stolen_) {
@@ -152,7 +153,7 @@ NameId NameInterner::Find(std::string_view name) const {
   if (capacity_ == 0) {
     return kNoName;
   }
-  uint64_t index = ProbeFor(slots_, capacity_, name, HashName(name));
+  uint64_t index = ProbeFor(slots_, capacity_, name, HashName(name), nullptr);
   return slots_[index].id;  // kNoName when the probe stopped at an empty slot
 }
 
@@ -177,7 +178,7 @@ NameId NameInterner::Intern(std::string_view name) {
                               kHighWater * static_cast<double>(capacity_)) {
       Rehash(growth_.NextSize(capacity_ < 5 ? 5 : capacity_));
     }
-    uint64_t index = ProbeFor(slots_, capacity_, name, k);
+    uint64_t index = ProbeFor(slots_, capacity_, name, k, &stats_);
     if (slots_[index].id != kNoName) {
       return slots_[index].id;
     }

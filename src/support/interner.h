@@ -57,8 +57,12 @@ class NameInterner {
     uint64_t initial_capacity = 0;
   };
 
+  // Write-side (Intern) accounting only.  Const lookups — Find/View/Suffix, on a live
+  // or frozen table — mutate nothing, not even these counters, so any number of
+  // threads may read one interner (typically one shared .pari mapping) concurrently
+  // with no synchronization.  Interning concurrently with anything is still a race.
   struct Stats {
-    uint64_t accesses = 0;  // Intern/Find calls
+    uint64_t accesses = 0;  // Intern calls
     uint64_t probes = 0;    // slot inspections on their behalf
     uint64_t rehashes = 0;  // table growths
   };
@@ -103,6 +107,13 @@ class NameInterner {
   NameInterner(const NameInterner&) = delete;
   NameInterner& operator=(const NameInterner&) = delete;
 
+  // The one definition of the interner's case normalization (-i folds ASCII upper
+  // case away).  Public so layers that must agree with interned bytes — e.g. the
+  // batch engine's shard hash — fold identically instead of re-implementing it.
+  static char FoldChar(char c) {
+    return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+
   // A read-only interner running directly over frozen-layout arrays (see FrozenView).
   // The backing memory must outlive the result.  Intern/StealTable are forbidden on
   // the result; Find/View/Suffix/HasSuffix work without copying or allocating.
@@ -113,7 +124,8 @@ class NameInterner {
   // Forbidden on a frozen interner (asserts; degrades to Find in release builds).
   NameId Intern(std::string_view name);
 
-  // Read-only lookup: the id for `name`, or kNoName.  Never allocates.
+  // Read-only lookup: the id for `name`, or kNoName.  Never allocates and never
+  // writes (see Stats): safe to call from many threads against one table.
   NameId Find(std::string_view name) const;
 
   // O(1) back-resolution.  The view/pointer is NUL-terminated, case-normalized, and
@@ -190,8 +202,10 @@ class NameInterner {
   uint64_t HashName(std::string_view name) const;
   bool EqualName(NameId id, std::string_view name) const;
   // Index of the slot holding `name` (hash `k`), or of the empty slot where it belongs.
+  // `stats` is where probe counts accrue: &stats_ on the Intern path, nullptr on the
+  // const Find path (which must stay mutation-free for concurrent readers).
   uint64_t ProbeFor(const Slot* slots, uint64_t capacity, std::string_view name,
-                    uint64_t k) const;
+                    uint64_t k, Stats* stats) const;
   void Rehash(uint64_t new_capacity);
   NameId LinearFind(std::string_view name) const;
 
@@ -204,7 +218,7 @@ class NameInterner {
   FibonacciPrimes growth_;
   FrozenView frozen_;  // non-null entries => adopt-read-only mode
   bool stolen_ = false;
-  mutable Stats stats_;
+  Stats stats_;  // write-side only; const lookups never touch it (concurrent readers)
 };
 
 }  // namespace pathalias

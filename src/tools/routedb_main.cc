@@ -12,18 +12,28 @@
 //   routedb get   [--image] <db> <host>         print the raw route for a host
 //   routedb resolve [--image] <db> <address>... resolve full addresses (domain-suffix
 //                                               lookup, rightmost-known rewriting)
-//   routedb batch [--image] <db> [hosts.txt]    bulk host lookup, one per line (stdin
+//   routedb batch [--image] [--threads N] [--cache-entries M] [--stats] <db>
+//                 [hosts.txt]                   bulk host lookup, one per line (stdin
 //                                               if no file): "host<TAB>route-key" per
 //                                               hit, "host<TAB>*miss*" per miss;
 //                                               malformed queries are reported with
-//                                               their line number and skipped
+//                                               their line number and skipped.
+//                                               --threads N shards the batch across N
+//                                               threads (0 = all cores);
+//                                               --cache-entries M gives each shard an
+//                                               M-entry result cache; output is
+//                                               byte-identical at any setting.
+//                                               --stats adds an execution summary
+//                                               line on stderr.
 
+#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/exec/batch_engine.h"
 #include "src/image/frozen_route_set.h"
 #include "src/image/image_writer.h"
 #include "src/route_db/resolver.h"
@@ -36,9 +46,17 @@ int Usage() {
                "       routedb freeze <routes.txt> <routes.pari>\n"
                "       routedb get [--image] <db> <host>\n"
                "       routedb resolve [--image] <db> <address>...\n"
-               "       routedb batch [--image] <db> [hosts.txt]\n";
+               "       routedb batch [--image] [--threads N] [--cache-entries M] "
+               "[--stats] <db> [hosts.txt]\n";
   return 2;
 }
+
+// The batch execution knobs, shared by the live and --image paths.
+struct BatchFlags {
+  int threads = 1;
+  size_t cache_entries = 0;
+  bool stats = false;
+};
 
 // A valid batch query is a non-empty run of printable, non-blank ASCII (host names and
 // domain keys are).  Anything else gets a per-line diagnostic instead of poisoning the
@@ -69,12 +87,14 @@ std::string SanitizeForTsv(const std::string& line) {
   return out;
 }
 
-// Bulk delivery scan: the well-formed queries go through ResolveBatch in one call;
-// malformed lines are reported with their line number and skipped.  Output is one line
-// per input line (misses and malformed queries included), so the stream stays aligned
-// with the input for downstream joins.
+// Bulk delivery scan: the well-formed queries go through the sharded batch engine in
+// one call; malformed lines are reported with their line number and skipped.  Output
+// is one line per input line (misses and malformed queries included), so the stream
+// stays aligned with the input for downstream joins — and is byte-identical at every
+// --threads/--cache-entries setting (the engine guarantees it).
 template <typename RouteSourceT>
-int RunBatch(const RouteSourceT& routes, std::istream& in, const char* input_name) {
+int RunBatch(const RouteSourceT& routes, std::istream& in, const char* input_name,
+             const BatchFlags& flags) {
   std::vector<std::string> hosts;
   std::vector<int> line_numbers;
   std::vector<std::pair<int, std::string>> malformed;  // line number, raw text
@@ -98,8 +118,11 @@ int RunBatch(const RouteSourceT& routes, std::istream& in, const char* input_nam
   }
   std::vector<std::string_view> queries(hosts.begin(), hosts.end());
   std::vector<pathalias::BatchLookup> results(queries.size());
-  pathalias::BasicResolver<RouteSourceT> resolver(&routes, pathalias::ResolveOptions{});
-  size_t resolved = resolver.ResolveBatch(queries, results);
+  pathalias::exec::BatchEngineOptions engine_options;
+  engine_options.threads = flags.threads;
+  engine_options.cache_entries = flags.cache_entries;
+  pathalias::exec::BasicBatchEngine<RouteSourceT> engine(&routes, engine_options);
+  size_t resolved = engine.ResolveBatch(queries, results);
   size_t next_malformed = 0;
   for (size_t i = 0; i < queries.size(); ++i) {
     // Interleave the malformed lines back at their original positions.
@@ -123,6 +146,13 @@ int RunBatch(const RouteSourceT& routes, std::istream& in, const char* input_nam
     std::cerr << ", " << malformed_count << " malformed";
   }
   std::cerr << "\n";
+  if (flags.stats) {
+    // Opt-in so default stderr stays byte-identical across execution settings.
+    const pathalias::exec::BatchEngineStats& stats = engine.stats();
+    std::cerr << "routedb: " << engine.shards() << " shard(s), "
+              << engine.cache_entries_per_shard() << " cache entries/shard, "
+              << stats.cache_hits << "/" << stats.cache_lookups << " cache hits\n";
+  }
   return 0;
 }
 
@@ -138,18 +168,18 @@ int RunGet(const RouteSourceT& routes, const char* host) {
 }
 
 template <typename RouteSourceT>
-int RunResolve(const RouteSourceT& routes, int argc, char** argv, int first) {
+int RunResolve(const RouteSourceT& routes, const std::vector<const char*>& addresses) {
   pathalias::ResolveOptions options;
   options.optimize = pathalias::ResolveOptions::Optimize::kRightmostKnown;
   pathalias::BasicResolver<RouteSourceT> resolver(&routes, options);
   int failures = 0;
-  for (int i = first; i < argc; ++i) {
-    pathalias::Resolution resolution = resolver.Resolve(argv[i]);
+  for (const char* address : addresses) {
+    pathalias::Resolution resolution = resolver.Resolve(address);
     if (resolution.ok) {
-      std::cout << argv[i] << "\t" << resolution.route << "\t(via " << resolution.via
+      std::cout << address << "\t" << resolution.route << "\t(via " << resolution.via
                 << ")\n";
     } else {
-      std::cout << argv[i] << "\t*error* " << resolution.error << "\n";
+      std::cout << address << "\t*error* " << resolution.error << "\n";
       ++failures;
     }
   }
@@ -157,24 +187,37 @@ int RunResolve(const RouteSourceT& routes, int argc, char** argv, int first) {
 }
 
 // Dispatches get/resolve/batch to the cdb-backed RouteSet or the mmap'd image.
+// `operands` holds the positional arguments after the database path.
 template <typename RouteSourceT>
-int RunQueryCommand(const std::string& command, const RouteSourceT& routes, int argc,
-                    char** argv, int first) {
+int RunQueryCommand(const std::string& command, const RouteSourceT& routes,
+                    const std::vector<const char*>& operands, const BatchFlags& flags) {
   if (command == "get") {
-    return RunGet(routes, argv[first]);
+    return RunGet(routes, operands.front());
   }
   if (command == "resolve") {
-    return RunResolve(routes, argc, argv, first);
+    return RunResolve(routes, operands);
   }
-  if (first >= argc) {
-    return RunBatch(routes, std::cin, "<stdin>");
+  if (operands.empty()) {
+    return RunBatch(routes, std::cin, "<stdin>", flags);
   }
-  std::ifstream in(argv[first]);
+  std::ifstream in(operands.front());
   if (!in) {
-    std::cerr << "routedb: cannot open " << argv[first] << "\n";
+    std::cerr << "routedb: cannot open " << operands.front() << "\n";
     return 1;
   }
-  return RunBatch(routes, in, argv[first]);
+  return RunBatch(routes, in, operands.front(), flags);
+}
+
+// Parses the integer operand of --threads / --cache-entries; false on junk.
+bool ParseCount(const char* flag, const char* text, uint64_t max, uint64_t* out) {
+  std::string_view view(text);
+  auto [end, errc] = std::from_chars(view.data(), view.data() + view.size(), *out);
+  if (errc != std::errc{} || end != view.data() + view.size() || *out > max) {
+    std::cerr << "routedb: " << flag << " needs an integer in [0, " << max << "], got '"
+              << text << "'\n";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -223,17 +266,55 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "get" || command == "resolve" || command == "batch") {
-    int arg = 2;
-    bool use_image = arg < argc && std::string(argv[arg]) == "--image";
-    if (use_image) {
-      ++arg;
+    bool use_image = false;
+    BatchFlags flags;
+    std::vector<const char*> positional;  // db path, then the command's operands
+    for (int i = 2; i < argc; ++i) {
+      std::string_view arg = argv[i];
+      if (arg == "--image") {
+        use_image = true;
+        continue;
+      }
+      if (arg == "--threads" || arg == "--cache-entries" || arg == "--stats") {
+        if (command != "batch") {
+          std::cerr << "routedb: " << arg << " only applies to batch\n";
+          return 2;
+        }
+        if (arg == "--stats") {
+          flags.stats = true;
+          continue;
+        }
+        if (i + 1 >= argc) {
+          return Usage();
+        }
+        uint64_t value = 0;
+        if (arg == "--threads") {
+          // 0 = all hardware threads; cap at a sanity bound, not the hardware.
+          if (!ParseCount("--threads", argv[++i], 1024, &value)) {
+            return 2;
+          }
+          flags.threads = static_cast<int>(value);
+        } else {
+          if (!ParseCount("--cache-entries", argv[++i], uint64_t{1} << 30, &value)) {
+            return 2;
+          }
+          flags.cache_entries = static_cast<size_t>(value);
+        }
+        continue;
+      }
+      if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+        std::cerr << "routedb: unknown option " << arg << "\n";
+        return Usage();
+      }
+      positional.push_back(argv[i]);
     }
-    if (arg >= argc) {
+    if (positional.empty()) {
       return Usage();
     }
-    const char* db_path = argv[arg++];
+    const char* db_path = positional.front();
+    std::vector<const char*> operands(positional.begin() + 1, positional.end());
     // get/resolve need at least one operand; batch's operand is optional (stdin).
-    if (command != "batch" && arg >= argc) {
+    if (command != "batch" && operands.empty()) {
       return Usage();
     }
     if (use_image) {
@@ -245,14 +326,14 @@ int main(int argc, char** argv) {
                   << (error.empty() ? "" : ": " + error) << "\n";
         return 1;
       }
-      return RunQueryCommand(command, image->routes(), argc, argv, arg);
+      return RunQueryCommand(command, image->routes(), operands, flags);
     }
     auto routes = pathalias::RouteSet::OpenCdbFile(db_path);
     if (!routes) {
       std::cerr << "routedb: cannot read " << db_path << "\n";
       return 1;
     }
-    return RunQueryCommand(command, *routes, argc, argv, arg);
+    return RunQueryCommand(command, *routes, operands, flags);
   }
   return Usage();
 }

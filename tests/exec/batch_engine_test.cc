@@ -1,0 +1,292 @@
+// The sharded batch engine's contract: byte-identical to the serial resolver at any
+// thread count, with the result cache on or off, over both backends.
+
+#include "src/exec/batch_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/exec/result_cache.h"
+#include "src/image/frozen_route_set.h"
+#include "src/image/image_writer.h"
+#include "src/route_db/resolver.h"
+#include "src/route_db/route_db.h"
+
+namespace pathalias {
+namespace exec {
+namespace {
+
+// A route set big enough that every shard of an 8-way engine sees real traffic:
+// hosts across several domains, domain keys, and a deep suffix chain.
+RouteSet BuildRoutes() {
+  RouteSet set;
+  set.Add("seismo", "seismo!%s", 100);
+  set.Add(".edu", "seismo!%s", 100);
+  set.Add(".rutgers.edu", "caip!%s", 50);
+  set.Add(".cs.wisc.edu", "spool!%s", 60);
+  set.Add("duke", "duke!%s", 500);
+  set.Add("phs", "duke!phs!%s", 800);
+  set.Add("ucbvax", "duke!research!ucbvax!%s", 3300);
+  for (int i = 0; i < 200; ++i) {
+    std::string host = "host" + std::to_string(i);
+    set.Add(host, host + "!%s", 100 + i);
+    std::string member = "m" + std::to_string(i) + ".dept" + std::to_string(i % 7) + ".edu";
+    set.Add(member, "seismo!" + member + "!%s", 200 + i);
+  }
+  return set;
+}
+
+// The mixed workload every test resolves: exact hits, suffix fallbacks through
+// interned and un-interned names, misses, and queries with no routable shape.
+std::vector<std::string> BuildQueryPool() {
+  std::vector<std::string> pool;
+  for (int i = 0; i < 200; ++i) {
+    pool.push_back("host" + std::to_string(i));
+    pool.push_back("m" + std::to_string(i) + ".dept" + std::to_string(i % 7) + ".edu");
+    pool.push_back("stranger" + std::to_string(i) + ".rutgers.edu");
+    pool.push_back("miss" + std::to_string(i) + ".unrouted.example");
+  }
+  pool.push_back("phs");
+  pool.push_back(".edu");          // a domain key queried directly
+  pool.push_back(".rutgers.edu");  // likewise, via an interned id
+  pool.push_back("nowhere");       // undotted miss
+  pool.push_back("");              // no routable shape at all
+  pool.push_back("   ");           // whitespace only
+  return pool;
+}
+
+std::vector<std::string_view> Views(const std::vector<std::string>& pool) {
+  return std::vector<std::string_view>(pool.begin(), pool.end());
+}
+
+// Every observable field must match, including the view identity: cached results
+// must alias the route source's storage, never a copy.
+void ExpectSameResults(const std::vector<BatchLookup>& expected,
+                       const std::vector<BatchLookup>& actual,
+                       const std::vector<std::string_view>& queries) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(expected[i].route.name, actual[i].route.name) << queries[i];
+    EXPECT_EQ(expected[i].route.cost, actual[i].route.cost) << queries[i];
+    EXPECT_EQ(expected[i].via, actual[i].via) << queries[i];
+    EXPECT_EQ(expected[i].suffix_match, actual[i].suffix_match) << queries[i];
+    EXPECT_EQ(expected[i].route.route.data(), actual[i].route.route.data())
+        << queries[i] << ": the route view must alias the same storage";
+    EXPECT_EQ(expected[i].route.route.size(), actual[i].route.route.size()) << queries[i];
+  }
+}
+
+TEST(BatchEngine, MatchesSerialResolverAtEveryThreadAndCacheSetting) {
+  RouteSet routes = BuildRoutes();
+  std::vector<std::string> pool = BuildQueryPool();
+  std::vector<std::string_view> queries = Views(pool);
+
+  Resolver resolver(&routes, ResolveOptions{});
+  std::vector<BatchLookup> serial(queries.size());
+  size_t serial_resolved = resolver.ResolveBatch(queries, serial);
+  ASSERT_GT(serial_resolved, 0u);
+
+  for (int threads : {1, 2, 4, 8}) {
+    for (size_t cache_entries : {size_t{0}, size_t{8}, size_t{4096}}) {
+      BatchEngineOptions options;
+      options.threads = threads;
+      options.cache_entries = cache_entries;
+      BatchEngine engine(&routes, options);
+      std::vector<BatchLookup> parallel(queries.size());
+      size_t resolved = engine.ResolveBatch(queries, parallel);
+      EXPECT_EQ(resolved, serial_resolved)
+          << threads << " threads, " << cache_entries << " cache entries";
+      ExpectSameResults(serial, parallel, queries);
+    }
+  }
+}
+
+TEST(BatchEngine, FrozenBackendMatchesLiveBackend) {
+  RouteSet routes = BuildRoutes();
+  std::string image = image::ImageWriter::Freeze(routes);
+  std::string error;
+  auto view = image::ImageView::Adopt(image, image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(view.has_value()) << error;
+  FrozenRouteSet frozen(*view);
+
+  std::vector<std::string> pool = BuildQueryPool();
+  std::vector<std::string_view> queries = Views(pool);
+
+  Resolver resolver(&routes, ResolveOptions{});
+  std::vector<BatchLookup> serial(queries.size());
+  size_t serial_resolved = resolver.ResolveBatch(queries, serial);
+
+  BatchEngineOptions options;
+  options.threads = 4;
+  options.cache_entries = 256;
+  FrozenBatchEngine engine(&frozen, options);
+  std::vector<BatchLookup> parallel(queries.size());
+  EXPECT_EQ(engine.ResolveBatch(queries, parallel), serial_resolved);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(serial[i].route.ok(), parallel[i].route.ok()) << queries[i];
+    EXPECT_EQ(serial[i].route.route, parallel[i].route.route) << queries[i];
+    EXPECT_EQ(serial[i].suffix_match, parallel[i].suffix_match) << queries[i];
+    if (serial[i].route.ok()) {
+      // Ids are assigned in different orders by the two backends; compare by name.
+      EXPECT_EQ(routes.names().View(serial[i].via), frozen.names().View(parallel[i].via))
+          << queries[i];
+    }
+  }
+}
+
+TEST(BatchEngine, NinetyPercentRepeatedDestinationsIdenticalWithCacheOnAndOff) {
+  // The satellite case: a delivery scan where 90% of the batch is a hot set of
+  // repeated destinations.  The cache must change the speed, never the bytes.
+  RouteSet routes = BuildRoutes();
+  std::vector<std::string> hot = {"phs",     "duke",    "ucbvax",
+                                  "host7",   "host42",  "m3.dept3.edu",
+                                  "host100", "host199", "m150.dept3.edu",
+                                  "stranger0.rutgers.edu"};
+  std::vector<std::string> pool;
+  for (int i = 0; i < 5000; ++i) {
+    if (i % 10 == 9) {
+      pool.push_back("cold" + std::to_string(i) + ".unrouted.example");
+    } else {
+      // i + i/10 de-syncs the pick from the 90% filter so every hot name occurs.
+      pool.push_back(hot[static_cast<size_t>(i + i / 10) % hot.size()]);
+    }
+  }
+  std::vector<std::string_view> queries = Views(pool);
+
+  BatchEngineOptions cached_options;
+  cached_options.threads = 4;
+  cached_options.cache_entries = 64;
+  BatchEngine cached(&routes, cached_options);
+  BatchEngineOptions uncached_options;
+  uncached_options.threads = 4;
+  BatchEngine uncached(&routes, uncached_options);
+
+  std::vector<BatchLookup> with_cache(queries.size());
+  std::vector<BatchLookup> without_cache(queries.size());
+  size_t resolved_cached = cached.ResolveBatch(queries, with_cache);
+  size_t resolved_uncached = uncached.ResolveBatch(queries, without_cache);
+  EXPECT_EQ(resolved_cached, resolved_uncached);
+  ExpectSameResults(without_cache, with_cache, queries);
+
+  // The interned hot set (9 of the 10 hot names) dominates, so the hit rate must too.
+  // The tenth hot name is a stranger: never cached, resolved by suffix walk each time.
+  EXPECT_GT(cached.stats().hit_rate(), 0.95);
+  EXPECT_EQ(uncached.stats().cache_lookups, 0u);
+}
+
+TEST(BatchEngine, CachesNegativeResults) {
+  RouteSet routes;
+  routes.Add("x.y.zz", "x.y.zz!%s", 10);  // interns ".y.zz" and ".zz", both routeless
+  BatchEngineOptions options;
+  options.cache_entries = 16;
+  BatchEngine engine(&routes, options);
+
+  std::vector<std::string_view> queries = {".y.zz", ".y.zz", ".y.zz"};
+  std::vector<BatchLookup> results(queries.size());
+  EXPECT_EQ(engine.ResolveBatch(queries, results), 0u);
+  for (const BatchLookup& result : results) {
+    EXPECT_FALSE(result.route.ok());
+  }
+  EXPECT_EQ(engine.stats().cache_lookups, 3u);
+  EXPECT_EQ(engine.stats().cache_hits, 2u) << "a cached miss is as final as a cached route";
+}
+
+TEST(BatchEngine, CachePersistsAcrossBatches) {
+  RouteSet routes = BuildRoutes();
+  BatchEngineOptions options;
+  options.threads = 2;
+  options.cache_entries = 64;
+  BatchEngine engine(&routes, options);
+
+  std::vector<std::string_view> queries = {"phs", "duke", "ucbvax"};
+  std::vector<BatchLookup> results(queries.size());
+  EXPECT_EQ(engine.ResolveBatch(queries, results), 3u);
+  uint64_t hits_after_first = engine.stats().cache_hits;
+  EXPECT_EQ(engine.ResolveBatch(queries, results), 3u);
+  EXPECT_EQ(engine.stats().cache_hits, hits_after_first + 3)
+      << "a server loop's second batch runs entirely from the warm cache";
+}
+
+TEST(BatchEngine, StrangersAreNeverCached) {
+  RouteSet routes = BuildRoutes();
+  BatchEngineOptions options;
+  options.cache_entries = 64;
+  BatchEngine engine(&routes, options);
+  std::vector<std::string_view> queries = {"s1.rutgers.edu", "s1.rutgers.edu",
+                                           "nope.example", "nope.example"};
+  std::vector<BatchLookup> results(queries.size());
+  EXPECT_EQ(engine.ResolveBatch(queries, results), 2u);
+  EXPECT_EQ(engine.stats().cache_lookups, 0u)
+      << "no NameId, no cache key: strangers bypass the cache entirely";
+}
+
+TEST(BatchEngine, EmptyBatchAndTruncatedResultsSpan) {
+  RouteSet routes = BuildRoutes();
+  BatchEngineOptions options;
+  options.threads = 4;
+  options.cache_entries = 16;
+  BatchEngine engine(&routes, options);
+
+  std::vector<BatchLookup> none;
+  EXPECT_EQ(engine.ResolveBatch({}, none), 0u);
+
+  // A results span shorter than the hosts span truncates the batch (the documented
+  // ResolveBatch contract), in the engine exactly as in the serial resolver.
+  std::vector<std::string_view> queries = {"phs", "duke", "ucbvax"};
+  std::vector<BatchLookup> short_results(2);
+  EXPECT_EQ(engine.ResolveBatch(queries, short_results), 2u);
+  EXPECT_TRUE(short_results[0].route.ok());
+  EXPECT_TRUE(short_results[1].route.ok());
+}
+
+TEST(BatchEngine, ZeroThreadsMeansHardwareWidth) {
+  RouteSet routes = BuildRoutes();
+  BatchEngineOptions options;
+  options.threads = 0;
+  BatchEngine engine(&routes, options);
+  EXPECT_GE(engine.shards(), 1);
+  std::vector<std::string_view> queries = {"phs"};
+  std::vector<BatchLookup> results(1);
+  EXPECT_EQ(engine.ResolveBatch(queries, results), 1u);
+}
+
+TEST(ResultCache, ClockEvictsUnreferencedWaysFirst) {
+  ResultCache cache(4);  // one set of four ways
+  ASSERT_EQ(cache.capacity(), 4u);
+  BatchLookup value;
+  value.via = 7;
+  BatchLookup out;
+
+  // Ids 0..3 fill the only set (whatever order the scramble maps them in).
+  for (NameId id = 0; id < 4; ++id) {
+    cache.Put(id, value);
+  }
+  for (NameId id = 0; id < 4; ++id) {
+    EXPECT_TRUE(cache.Get(id, &out));
+  }
+  // All four are armed; inserting a fifth forces the hand all the way around: it
+  // disarms everything, evicts exactly one resident, and the other three survive.
+  cache.Put(4, value);
+  EXPECT_TRUE(cache.Get(4, &out));
+  int survivors = 0;
+  for (NameId id = 0; id < 4; ++id) {
+    if (cache.Get(id, &out)) {
+      ++survivors;
+    }
+  }
+  EXPECT_EQ(survivors, 3);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, RoundsCapacityAndDisablesAtZero) {
+  EXPECT_FALSE(ResultCache(0).enabled());
+  EXPECT_EQ(ResultCache(1).capacity(), 4u);
+  EXPECT_EQ(ResultCache(5).capacity(), 8u);
+  EXPECT_EQ(ResultCache(4096).capacity(), 4096u);
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace pathalias

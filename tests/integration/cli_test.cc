@@ -204,6 +204,68 @@ TEST_F(CliTest, RoutedbFreezeAndImageBackedQueries) {
   EXPECT_NE(rejected.output.find("cannot read"), std::string::npos) << rejected.output;
 }
 
+TEST_F(CliTest, RoutedbBatchThreadsAndCacheFlagsNeverChangeTheBytes) {
+  // The sharded engine's CLI guarantee: any --threads/--cache-entries combination —
+  // over the cdb set or the mmap'd image — emits byte-identical output, stderr
+  // summary included, on a stream where 90% of the queries repeat a hot set.
+  std::string routes = (dir_ / "routes.txt").string();
+  std::string cdb = (dir_ / "routes.cdb").string();
+  std::string pari = (dir_ / "routes.pari").string();
+  ASSERT_EQ(RunCommand(std::string(PATHALIAS_BIN) + " -c -l unc -o " + routes + " " +
+                       map_path_)
+                .status,
+            0);
+  ASSERT_EQ(RunCommand(std::string(ROUTEDB_BIN) + " build " + routes + " " + cdb).status, 0);
+  ASSERT_EQ(RunCommand(std::string(ROUTEDB_BIN) + " freeze " + routes + " " + pari).status,
+            0);
+
+  std::string hosts = (dir_ / "hosts.txt").string();
+  {
+    const char* hot[] = {"phs", "duke", "research", "mit-ai", "ucbvax",
+                         "phs", "duke", "research", "mit-ai"};
+    std::ofstream out(hosts);
+    for (int i = 0; i < 200; ++i) {
+      if (i % 10 == 9) {
+        out << "cold" << i << ".nowhere.example\n";  // the 10% that never repeats
+      } else {
+        out << hot[i % 9] << "\n";
+      }
+    }
+  }
+
+  CommandResult baseline =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch " + cdb + " " + hosts);
+  ASSERT_EQ(baseline.status, 0);
+  EXPECT_NE(baseline.output.find("phs\tphs"), std::string::npos) << baseline.output;
+  for (const char* flags : {"--threads 4", "--cache-entries 512",
+                            "--threads 8 --cache-entries 512", "--threads 0"}) {
+    CommandResult run = RunCommand(std::string(ROUTEDB_BIN) + " batch " + flags + " " +
+                                   cdb + " " + hosts);
+    EXPECT_EQ(run.status, 0) << flags;
+    EXPECT_EQ(run.output, baseline.output) << flags;
+  }
+  CommandResult image_run = RunCommand(std::string(ROUTEDB_BIN) +
+                                       " batch --image --threads 4 --cache-entries 512 " +
+                                       pari + " " + hosts);
+  EXPECT_EQ(image_run.status, 0);
+  EXPECT_EQ(image_run.output, baseline.output);
+
+  // --stats is the opt-in exception: it adds the execution summary on stderr.
+  CommandResult stats_run = RunCommand(std::string(ROUTEDB_BIN) +
+                                       " batch --threads 2 --cache-entries 512 --stats " +
+                                       cdb + " " + hosts);
+  EXPECT_EQ(stats_run.status, 0);
+  EXPECT_NE(stats_run.output.find("2 shard(s)"), std::string::npos) << stats_run.output;
+  EXPECT_NE(stats_run.output.find("cache hits"), std::string::npos) << stats_run.output;
+
+  // The flags are batch-only.
+  CommandResult misuse =
+      RunCommand(std::string(ROUTEDB_BIN) + " get --threads 4 " + cdb + " phs");
+  EXPECT_NE(misuse.status, 0);
+  EXPECT_NE(misuse.output.find("only applies to batch"), std::string::npos)
+      << misuse.output;
+}
+
 TEST_F(CliTest, RoutedbBatchReportsMalformedLinesAndContinues) {
   std::string routes = (dir_ / "routes.txt").string();
   std::string cdb = (dir_ / "routes.cdb").string();

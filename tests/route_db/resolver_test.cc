@@ -241,6 +241,59 @@ TEST(Resolver, BatchAgreesWithSingleLookupOnEveryQuery) {
   }
 }
 
+TEST(Resolver, BatchEmptySpansResolveNothing) {
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  std::vector<BatchLookup> results;
+  EXPECT_EQ(resolver.ResolveBatch({}, results), 0u);
+  std::vector<std::string_view> hosts = {"phs"};
+  EXPECT_EQ(resolver.ResolveBatch(hosts, {}), 0u)
+      << "an empty results span means nothing can be written, so nothing resolves";
+}
+
+TEST(Resolver, BatchTruncatesToTheShorterResultsSpan) {
+  // The documented contract: only the common prefix of the two spans is processed —
+  // never a write past results.end().
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  std::vector<std::string_view> hosts = {"phs", "nowhere", "duke"};
+  std::vector<BatchLookup> results(2);
+  EXPECT_EQ(resolver.ResolveBatch(hosts, results), 1u)
+      << "duke is beyond the results span and must not be counted";
+  EXPECT_TRUE(results[0].route.ok());
+  EXPECT_FALSE(results[1].route.ok());
+}
+
+TEST(Resolver, BatchWhitespaceAndEmptyQueriesAreMisses) {
+  // Queries with no routable shape — empty, all blanks, a lone dot — are plain
+  // misses, not errors, and must drain the walk cleanly.
+  RouteSet routes = PaperRoutes();
+  Resolver resolver = MakeResolver(routes);
+  std::vector<std::string_view> hosts = {"", " ", "  \t ", ".", "phs"};
+  std::vector<BatchLookup> results(hosts.size());
+  EXPECT_EQ(resolver.ResolveBatch(hosts, results), 1u);
+  for (size_t i = 0; i + 1 < hosts.size(); ++i) {
+    EXPECT_FALSE(results[i].route.ok()) << "query '" << hosts[i] << "'";
+    EXPECT_EQ(results[i].via, kNoName) << "query '" << hosts[i] << "'";
+  }
+  EXPECT_TRUE(results.back().route.ok());
+}
+
+TEST(Resolver, LookupOneAgreesWithBatchSlots) {
+  RouteSet routes = PaperRoutes();
+  routes.Add(".rutgers.edu", "caip!%s", 50);
+  Resolver resolver = MakeResolver(routes);
+  std::vector<std::string_view> hosts = {"phs", "caip.rutgers.edu", "x.y.z", ".edu", " "};
+  std::vector<BatchLookup> results(hosts.size());
+  resolver.ResolveBatch(hosts, results);
+  for (size_t i = 0; i < hosts.size(); ++i) {
+    BatchLookup one = resolver.LookupOne(hosts[i]);
+    EXPECT_EQ(one.route.name, results[i].route.name) << hosts[i];
+    EXPECT_EQ(one.via, results[i].via) << hosts[i];
+    EXPECT_EQ(one.suffix_match, results[i].suffix_match) << hosts[i];
+  }
+}
+
 TEST(Resolver, PercentFormResolves) {
   RouteSet routes = PaperRoutes();
   Resolver resolver = MakeResolver(routes);
