@@ -11,6 +11,12 @@ regress when they go UP.  Regressions beyond the threshold get a warning marker 
 they stand out in the CI job summary — the job does not fail on them (runner
 hardware varies); the table is the reviewable artifact.
 
+A benchmark section present in only one of the two files is normal, not an error:
+a newly landed benchmark has no committed baseline on its first CI run, and a
+retired one lingers in the baseline until re-recorded.  One-sided sections are
+reported as such (and their leaves kept out of the metric noise); the diff only
+covers ground both files share.
+
 Exit status: 0 always, unless an input file is missing or unparsable.
 """
 
@@ -69,7 +75,20 @@ def main():
     fresh_leaves = dict(numeric_leaves(fresh))
     shared = [path for path in committed_leaves if path in fresh_leaves]
 
+    committed_sections = set(committed) if isinstance(committed, dict) else set()
+    fresh_sections = set(fresh) if isinstance(fresh, dict) else set()
+    new_sections = sorted(fresh_sections - committed_sections)
+    retired_sections = sorted(committed_sections - fresh_sections)
+
     print("### BENCH_resolver.json: committed vs this build\n")
+    if new_sections:
+        print("> ℹ️ new benchmark section(s) with no committed baseline yet "
+              "(recorded, not diffed): "
+              + ", ".join(f"`{name}`" for name in new_sections) + "\n")
+    if retired_sections:
+        print("> ℹ️ section(s) only in the committed baseline (not produced by "
+              "this build): "
+              + ", ".join(f"`{name}`" for name in retired_sections) + "\n")
     hw_path = "parallel_batch.hardware_threads"
     if committed_leaves.get(hw_path) != fresh_leaves.get(hw_path):
         print(f"> ⚠️ **hardware mismatch**: committed numbers came from a "
@@ -93,7 +112,10 @@ def main():
             delta_text = f"{delta:+.1%}"
         print(f"| `{path}` | {fmt(old)} | {fmt(new)} | {delta_text}{marker} |")
 
-    only_fresh = sorted(set(fresh_leaves) - set(committed_leaves))
+    # New individual metrics inside SHARED sections; whole new sections were
+    # already announced above and would only add noise here.
+    only_fresh = sorted(path for path in set(fresh_leaves) - set(committed_leaves)
+                        if path.split(".", 1)[0] not in new_sections)
     if only_fresh:
         print(f"\n{len(only_fresh)} new metric(s) not in the committed file: "
               + ", ".join(f"`{path}`" for path in only_fresh[:10])

@@ -210,6 +210,41 @@ void Mapper::Relax(PathLabel& from, Link& link, MapperHeap& heap, Result& result
   }
 }
 
+void Mapper::CollectFinalStats(Result& result) const {
+  result.mapped_hosts = 0;
+  result.unreachable_hosts = 0;
+  result.mixed_syntax_routes = 0;
+  result.syntax_penalized_routes = 0;
+  result.penalized_routes = 0;
+  result.unreachable.clear();
+  for (Node* node : graph_->nodes()) {
+    if (node->deleted() || node->placeholder()) {
+      continue;
+    }
+    if (node->cost == kUnreached) {
+      ++result.unreachable_hosts;
+      result.unreachable.push_back(node);
+      continue;
+    }
+    ++result.mapped_hosts;
+    for (uint8_t slot = 0; slot < 2; ++slot) {
+      PathLabel* label = node->label[slot];
+      if (label == nullptr || !label->best) {
+        continue;
+      }
+      if (label->has_left && label->has_right) {
+        ++result.mixed_syntax_routes;
+      }
+      if ((label->penalties & kPenaltySyntax) != 0) {
+        ++result.syntax_penalized_routes;
+      }
+      if (label->penalties != 0) {
+        ++result.penalized_routes;
+      }
+    }
+  }
+}
+
 size_t Mapper::InventBackLinks(Result& result) {
   size_t invented = 0;
   // Take a snapshot: AddLink would otherwise extend adjacency lists mid-walk.
@@ -353,38 +388,285 @@ Mapper::Result Mapper::Run() {
     }
   }
 
-  for (Node* node : graph_->nodes()) {
-    if (node->deleted() || node->placeholder()) {
-      continue;
-    }
-    if (node->cost == kUnreached) {
-      ++result.unreachable_hosts;
-      result.unreachable.push_back(node);
-      continue;
-    }
-    ++result.mapped_hosts;
-    for (uint8_t slot = 0; slot < 2; ++slot) {
-      PathLabel* label = node->label[slot];
-      if (label == nullptr || !label->best) {
-        continue;
-      }
-      if (label->has_left && label->has_right) {
-        ++result.mixed_syntax_routes;
-      }
-      if ((label->penalties & kPenaltySyntax) != 0) {
-        ++result.syntax_penalized_routes;
-      }
-      if (label->penalties != 0) {
-        ++result.penalized_routes;
-      }
-    }
-  }
+  CollectFinalStats(result);
   if (result.heap_storage_from_donation && storage != nullptr) {
     // The heap has drained; recycle the borrowed region for later arena requests.
     graph_->arena().Donate(storage, capacity * sizeof(PathLabel*));
   }
   result_ = nullptr;
   return result;
+}
+
+// --- incremental patching ------------------------------------------------------
+
+struct Mapper::PatchState {
+  std::vector<uint8_t> dirty;  // by node->order
+  std::vector<Node*> dirty_nodes;
+  std::vector<PathLabel*> stack;  // DirtySubtree scratch
+  bool reopened = false;
+
+  bool IsDirty(const Node* node) const {
+    return static_cast<size_t>(node->order) < dirty.size() && dirty[node->order] != 0;
+  }
+  void MarkDirty(Node* node) {
+    dirty[node->order] = 1;
+    dirty_nodes.push_back(node);
+  }
+};
+
+namespace {
+
+void ResetMappingState(Node* node) {
+  node->label[0] = nullptr;
+  node->label[1] = nullptr;
+  node->parent = nullptr;
+  node->parent_link = nullptr;
+  node->cost = kUnreached;
+  node->hops = 0;
+}
+
+}  // namespace
+
+void Mapper::DirtySubtree(Node* node, PatchState& state) {
+  if (state.IsDirty(node)) {
+    return;
+  }
+  PathLabel* label = node->label[0];
+  state.MarkDirty(node);
+  ResetMappingState(node);
+  if (label == nullptr) {
+    return;
+  }
+  state.stack.clear();
+  state.stack.push_back(label);
+  while (!state.stack.empty()) {
+    PathLabel* current = state.stack.back();
+    state.stack.pop_back();
+    for (PathLabel* child = current->child; child != nullptr; child = child->sibling) {
+      Node* child_node = child->node;
+      if (state.IsDirty(child_node)) {
+        continue;  // its subtree was reset when it was
+      }
+      state.MarkDirty(child_node);
+      ResetMappingState(child_node);
+      state.stack.push_back(child);
+    }
+  }
+}
+
+void Mapper::PatchRelax(PathLabel& from, Link& link, MapperHeap& heap, Result& result,
+                        PatchState& state) {
+  Node* to = link.to;
+  if (to->deleted() || from.node->deleted()) {
+    return;
+  }
+  ++result.relaxations;
+  uint32_t penalty_bits = 0;
+  Cost cost = CostOf(from, link, &penalty_bits);
+  uint32_t penalties = from.penalties | penalty_bits;
+  uint8_t taint = TaintAfter(from, *to);
+  int32_t hops = from.hops + 1;  // alias edges (the hops == parent case) are gated out
+  LabelLess less{&graph_->names(), options_.prefer_fewer_hops};
+
+  auto apply = [&](PathLabel* label) {
+    label->cost = cost;
+    label->hops = hops;
+    label->parent = &from;
+    label->via = &link;
+    label->taint = taint;
+    label->penalties = penalties;
+    PropagateSyntax(from, link, *label);
+  };
+
+  PathLabel* label = to->label[0];
+  if (label == nullptr) {
+    // First candidate: either a dirty node being recomputed or a previously
+    // unreachable placeholder the edits just made reachable — either way it is now
+    // part of the patched region (its route may appear).
+    if (!state.IsDirty(to)) {
+      state.MarkDirty(to);
+    }
+    label = MakeLabel(to, taint);
+    to->label[0] = label;
+    apply(label);
+    heap.Push(label);
+    ++result.heap_pushes;
+    return;
+  }
+
+  bool better = cost < label->cost ||
+                (cost == label->cost && options_.prefer_fewer_hops && hops < label->hops);
+  bool equal = cost == label->cost && (!options_.prefer_fewer_hops || hops == label->hops);
+  if (!label->mapped) {
+    // Queued (dirty) label.  Unlike Run's first-wins rule, ties resolve by comparing
+    // parent labels: relaxation order inside the patch differs from a full run, so
+    // the winner must be decided by the graph, not by arrival — and the full run's
+    // winner is exactly the LabelLess-least of the optimal parents (it pops, and
+    // therefore relaxes, first).  A same-parent candidate refreshes in place: the
+    // parent was reopened at unchanged (cost, hops) and its final state must
+    // propagate over the stale one.
+    if (better) {
+      apply(label);
+      heap.DecreaseKey(label);
+    } else if (equal && label->parent != nullptr) {
+      if (label->parent->node == from.node || less(&from, label->parent)) {
+        apply(label);  // (cost, hops) unchanged: the heap position stays valid
+      }
+    }
+    return;
+  }
+
+  if (state.IsDirty(to)) {
+    return;  // drained within this patch: final by the sorted-extraction argument
+  }
+  // A clean, mapped label the edits now beat (or tie with a LabelLess-smaller
+  // parent): the full rebuild would have routed it differently.  Reopen it — its old
+  // subtree's route strings embed its old route, so the whole subtree re-enters the
+  // dirty region — and requeue it under the new candidate.  The outer loop reseeds
+  // the new region's boundary before the next drain.
+  bool tie_win = equal && label->parent != nullptr && label->parent->node != from.node &&
+                 less(&from, label->parent);
+  if (!better && !tie_win) {
+    return;
+  }
+  DirtySubtree(to, state);
+  PathLabel* fresh = MakeLabel(to, taint);
+  to->label[0] = fresh;
+  apply(fresh);
+  heap.Push(fresh);
+  ++result.heap_pushes;
+  state.reopened = true;
+}
+
+std::optional<std::vector<Node*>> Mapper::Patch(Result& result,
+                                                std::span<Node* const> dirty_seeds) {
+  // --- gates (see header) ---
+  if (options_.two_label || !options_.trace.empty() || !options_.prefer_fewer_hops) {
+    return std::nullopt;
+  }
+  Node* local = graph_->local();
+  if (local == nullptr || local->deleted() || result.names != &graph_->names()) {
+    return std::nullopt;
+  }
+  for (Node* node : graph_->nodes()) {
+    if (node->deleted()) {
+      continue;
+    }
+    for (Link* link = node->links; link != nullptr; link = link->next) {
+      if (link->alias() || link->invented()) {
+        return std::nullopt;
+      }
+    }
+  }
+  for (Node* seed : dirty_seeds) {
+    if (seed == local) {
+      return std::nullopt;
+    }
+  }
+
+  result_ = &result;
+  PatchState state;
+  state.dirty.assign(graph_->node_count(), 0);
+
+  // Rebuild the old tree's child lists (the route printer may have left its own).
+  for (PathLabel* label : result.labels) {
+    label->child = nullptr;
+    label->sibling = nullptr;
+  }
+  for (PathLabel* label : result.labels) {
+    if (label->mapped && label->parent != nullptr) {
+      label->sibling = label->parent->child;
+      label->parent->child = label;
+    }
+  }
+
+  for (Node* seed : dirty_seeds) {
+    DirtySubtree(seed, state);
+  }
+
+  // Outside the dirty region every label is reused as-is, so the previous result
+  // must have been complete there: an unreached clean host means the previous run
+  // needed back links (or this graph was never mapped) — global, so bail.  Inside
+  // the region unreached is the starting state; the post-drain check below decides.
+  for (Node* node : graph_->nodes()) {
+    if (!node->deleted() && !node->placeholder() && node->cost == kUnreached &&
+        !state.IsDirty(node)) {
+      result_ = nullptr;
+      return std::nullopt;
+    }
+  }
+
+  LabelLess less{&graph_->names(), options_.prefer_fewer_hops};
+  MapperHeap heap(less);
+
+  // Alternate boundary seeding and draining until no drain reopens clean territory.
+  // Seeding relaxes every clean final label across the boundary into the dirty
+  // region; the drain is Run's extraction loop with the patch relaxation rule.
+  // Re-relaxing an already-drained dirty target is a no-op (mapped, final), so the
+  // rescans stay idempotent.
+  do {
+    for (Node* node : graph_->nodes()) {
+      if (node->deleted()) {
+        continue;
+      }
+      // Every FINAL label is a seeding source: clean ones across the boundary, and —
+      // after a reopen grows the region — already-drained dirty ones whose earlier
+      // relaxations into the reopened nodes were discarded with their labels.
+      PathLabel* label = node->label[0];
+      if (label == nullptr || !label->mapped) {
+        continue;
+      }
+      for (Link* link = node->links; link != nullptr; link = link->next) {
+        if (state.IsDirty(link->to)) {
+          PatchRelax(*label, *link, heap, result, state);
+        }
+      }
+    }
+    state.reopened = false;
+    while (!heap.empty()) {
+      PathLabel* label = heap.PopMin();
+      ++result.heap_pops;
+      label->mapped = true;
+      Node* node = label->node;
+      if (node->cost == kUnreached) {
+        label->best = true;
+        node->cost = label->cost;
+        node->hops = label->hops;
+        node->parent = label->parent != nullptr ? label->parent->node : nullptr;
+        node->parent_link = label->via;
+      }
+      for (Link* link = node->links; link != nullptr; link = link->next) {
+        PatchRelax(*label, *link, heap, result, state);
+      }
+    }
+  } while (state.reopened);
+
+  // A real host left unreached would need the back-link fixpoint — global, so bail.
+  for (Node* node : state.dirty_nodes) {
+    if (!node->deleted() && !node->placeholder() && node->cost == kUnreached) {
+      result_ = nullptr;
+      return std::nullopt;
+    }
+  }
+
+  // Rebuild the label list from the nodes (dropping the discarded dirty labels) and
+  // recompute the aggregates the labels feed.
+  result.labels.clear();
+  for (Node* node : graph_->nodes()) {
+    if (node->label[0] != nullptr) {
+      result.labels.push_back(node->label[0]);
+    }
+  }
+  result.label_count = result.labels.size();
+  result.mapped_labels = 0;
+  for (PathLabel* label : result.labels) {
+    if (label->mapped) {
+      ++result.mapped_labels;
+    }
+  }
+  CollectFinalStats(result);
+  result_ = nullptr;
+  return std::move(state.dirty_nodes);
 }
 
 }  // namespace pathalias

@@ -70,6 +70,51 @@ std::string Domainize(std::string_view name, const Node& parent, const std::stri
   return std::string(name) + suffix;
 }
 
+// The preorder traversal's descent step: the frame for `child` given its parent's
+// frame.  Factored out so the incremental per-node builder (BuildEntryFor) replays
+// the exact same name/route/suffix/syntax logic the full traversal uses.
+Frame MakeChildFrame(const Frame& frame, const PathLabel& child, const NameInterner& names) {
+  const PathLabel& label = *frame.label;
+  const Node& node = *label.node;
+  const Link& via = *child.via;
+  const Node& child_node = *child.node;
+  Frame next;
+  next.label = &child;
+  next.first_hop = label.parent == nullptr ? child.cost : frame.first_hop;
+  if (via.alias()) {
+    // Same machine, other name: the route (and any pending domain context) carries
+    // over unchanged; only the displayed name differs.
+    next.display_name = std::string(names.View(child_node.name));
+    next.route = frame.route;
+    next.domain_suffix = frame.domain_suffix;
+    next.entry_op = frame.entry_op;
+    next.entry_right = frame.entry_right;
+  } else if (child_node.placeholder()) {
+    // "the route to a network is identical to the route to its parent."
+    next.route = frame.route;
+    next.display_name = std::string(names.View(child_node.name));
+    if (node.placeholder()) {
+      next.entry_op = frame.entry_op;  // stay with the syntax used at entry
+      next.entry_right = frame.entry_right;
+    } else {
+      next.entry_op = via.op;
+      next.entry_right = via.right_syntax();
+    }
+    if (child_node.domain()) {
+      next.domain_suffix = Domainize(names.View(child_node.name), node, frame.domain_suffix);
+    }
+  } else {
+    // A real host: splice it into the parent's route.  Under a domain its name is
+    // extended with the accumulated domain suffix first.
+    std::string name = Domainize(names.View(child_node.name), node, frame.domain_suffix);
+    char op = node.placeholder() ? frame.entry_op : via.op;
+    bool right = node.placeholder() ? frame.entry_right : via.right_syntax();
+    next.display_name = name;
+    next.route = Splice(frame.route, name, op, right);
+  }
+  return next;
+}
+
 bool Printable(const PathLabel& label) {
   const Node& node = *label.node;
   if (!label.best || node.is_private() || node.deleted()) {
@@ -142,47 +187,30 @@ std::vector<RouteEntry> RoutePrinter::Build() {
       children.push_back(child);
     }
     for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      const PathLabel& child = **it;
-      const Link& via = *child.via;
-      const Node& child_node = *child.node;
-      Frame next;
-      next.label = &child;
-      next.first_hop = label.parent == nullptr ? child.cost : frame.first_hop;
-      if (via.alias()) {
-        // Same machine, other name: the route (and any pending domain context) carries
-        // over unchanged; only the displayed name differs.
-        next.display_name = std::string(names.View(child_node.name));
-        next.route = frame.route;
-        next.domain_suffix = frame.domain_suffix;
-        next.entry_op = frame.entry_op;
-        next.entry_right = frame.entry_right;
-      } else if (child_node.placeholder()) {
-        // "the route to a network is identical to the route to its parent."
-        next.route = frame.route;
-        next.display_name = std::string(names.View(child_node.name));
-        if (node.placeholder()) {
-          next.entry_op = frame.entry_op;  // stay with the syntax used at entry
-          next.entry_right = frame.entry_right;
-        } else {
-          next.entry_op = via.op;
-          next.entry_right = via.right_syntax();
-        }
-        if (child_node.domain()) {
-          next.domain_suffix = Domainize(names.View(child_node.name), node, frame.domain_suffix);
-        }
-      } else {
-        // A real host: splice it into the parent's route.  Under a domain its name is
-        // extended with the accumulated domain suffix first.
-        std::string name = Domainize(names.View(child_node.name), node, frame.domain_suffix);
-        char op = node.placeholder() ? frame.entry_op : via.op;
-        bool right = node.placeholder() ? frame.entry_right : via.right_syntax();
-        next.display_name = name;
-        next.route = Splice(frame.route, name, op, right);
-      }
-      stack.push_back(std::move(next));
+      stack.push_back(MakeChildFrame(frame, **it, names));
     }
   }
   return entries;
+}
+
+std::optional<RouteEntry> RoutePrinter::BuildEntryFor(const PathLabel* label) const {
+  if (label == nullptr || !label->mapped || !Printable(*label)) {
+    return std::nullopt;
+  }
+  std::vector<const PathLabel*> chain;  // label up to the root...
+  for (const PathLabel* ancestor = label; ancestor != nullptr; ancestor = ancestor->parent) {
+    chain.push_back(ancestor);
+  }
+  const NameInterner& names = *map_->names;
+  Frame frame;  // ...then the root's frame walked back down the chain
+  frame.label = chain.back();
+  frame.display_name = std::string(names.View(chain.back()->node->name));
+  frame.route = "%s";
+  for (size_t i = chain.size() - 1; i-- > 0;) {
+    frame = MakeChildFrame(frame, *chain[i], names);
+  }
+  Cost cost = options_.first_hop_cost ? frame.first_hop : label->cost;
+  return RouteEntry{std::move(frame.display_name), std::move(frame.route), cost, label->node};
 }
 
 std::string RoutePrinter::Render(const std::vector<RouteEntry>& entries,

@@ -156,6 +156,22 @@ size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_v
   return resolved;
 }
 
+template <typename RouteSource>
+void BasicBatchEngine<RouteSource>::InvalidateRoutes(std::span<const NameId> dirty) {
+  for (ResultCache& cache : caches_) {
+    cache.Invalidate(dirty);
+  }
+}
+
+template <typename RouteSource>
+void BasicBatchEngine<RouteSource>::AdoptRoutes(const RouteSource* fresh,
+                                                std::span<const NameId> dirty) {
+  routes_ = fresh;
+  resolver_ = BasicResolver<RouteSource>(fresh, options_.resolve);
+  fold_case_ = fresh->names().fold_case();
+  InvalidateRoutes(dirty);
+}
+
 template class BasicBatchEngine<RouteSet>;
 template class BasicBatchEngine<FrozenRouteSet>;
 

@@ -81,6 +81,31 @@ class BasicBatchEngine {
   size_t ResolveBatch(std::span<const std::string_view> hosts,
                       std::span<BatchLookup> results);
 
+  // Revokes cached results for `dirty` destination NameIds across every shard.
+  // Safe (data-race-free; TSan-enforced) to call from another thread WHILE a batch
+  // is in flight, but then only BEST-EFFORT: a query already past its cache probe
+  // may serve the pre-update result one last time, and a miss being resolved
+  // concurrently may Put a pre-update result back AFTER the revocation, where it
+  // stays until something invalidates or evicts it again.  A hard cut therefore
+  // requires invalidating with no batch in flight — which is exactly what
+  // AdoptRoutes (the intended update entry point) does after swapping sources.
+  // No-op when caching is off.
+  void InvalidateRoutes(std::span<const NameId> dirty);
+
+  // The sound update flow: switches the engine to `fresh` routes, then revokes
+  // exactly the `dirty` ids (MapBuilder::dirty_route_ids() after a Refreeze)
+  // instead of flushing the world.  Requirements: call between batches (same
+  // caller thread as ResolveBatch — the between-batches timing is also what makes
+  // the invalidation a hard cut, see above); fresh must share the old source's
+  // NameId assignment for surviving names (a RouteSet maintained by ApplyDelta, or
+  // an image refrozen from it, does — ids are append-only); and the OLD source
+  // must outlive the engine, because clean cached results still view its bytes —
+  // that is what makes the swap flush-free.  NOTE: mutating a live RouteSet the
+  // engine is reading (ApplyDelta in place) is NOT a supported update path — its
+  // vectors reallocate under the reader; serve from frozen images (or a second
+  // RouteSet instance) and swap here.
+  void AdoptRoutes(const RouteSource* fresh, std::span<const NameId> dirty);
+
   int shards() const { return shards_; }
   size_t cache_entries_per_shard() const {
     return caches_.empty() ? 0 : caches_.front().capacity();

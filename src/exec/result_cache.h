@@ -15,19 +15,33 @@
 // first unarmed way and disarms the armed ones it passes.  No linked lists, no
 // tombstones, no allocation after construction.
 //
-// Concurrency: none.  A ResultCache belongs to exactly one shard of one batch engine,
-// and a shard runs on one thread at a time — sharding by destination is what makes
-// this single-owner design safe AND maximizes hits (a destination always lands in the
-// same shard, so its cached result is always in the cache that is asked).
+// Concurrency: single-owner reads and writes, concurrent invalidation.  A
+// ResultCache belongs to exactly one shard of one batch engine, and a shard runs on
+// one thread at a time — sharding by destination is what makes this single-owner
+// design safe AND maximizes hits (a destination always lands in the same shard, so
+// its cached result is always in the cache that is asked).  The ONE cross-thread
+// entry point is Invalidate(): an updater may revoke dirty keys while the owner
+// thread serves a batch.  Keys are therefore atomics; values never are — the
+// invalidator writes only keys, so values stay single-owner.  The race semantics
+// are best-effort revocation: a lookup that overlaps an invalidation may return
+// the pre-update result one last time (the query was in flight when the routes
+// changed), and a Put may land a result computed BEFORE the invalidation just
+// after it, where it survives until the next invalidation or eviction.  A hard
+// cut needs the invalidation to happen with no batch in flight (the engine's
+// AdoptRoutes flow).  What cannot happen is a key matching one entry while the
+// value bytes belong to another.
 //
 // Lifetime: cached BatchLookups hold views into the route source's storage (interner
 // bytes, route bytes — possibly an mmap'd .pari image).  The cache must not outlive
-// the route source, and Clear() must be called if the source is swapped.
+// the route source; when the source is replaced see BasicBatchEngine::AdoptRoutes
+// (targeted) or call Clear() (flush).
 
 #ifndef SRC_EXEC_RESULT_CACHE_H_
 #define SRC_EXEC_RESULT_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/route_db/resolver.h"
@@ -58,7 +72,7 @@ class ResultCache {
     while (sets * kWays < entries) {
       sets *= 2;
     }
-    sets_.resize(sets);
+    sets_ = std::vector<Set>(sets);  // atomics: construct in place, never move
     set_mask_ = sets - 1;
   }
 
@@ -71,8 +85,11 @@ class ResultCache {
     ++stats_.lookups;
     Set& set = sets_[SetOf(key)];
     for (size_t way = 0; way < kWays; ++way) {
-      if (set.keys[way] == key) {
+      if (set.keys[way].load(std::memory_order_relaxed) == key) {
         set.armed[way] = 1;
+        // Safe even if an invalidation lands between the key check and this copy:
+        // only the owner thread (us) ever writes values, so these are the bytes
+        // that were current when the key matched.
         *out = set.values[way];
         ++stats_.hits;
         return true;
@@ -88,7 +105,8 @@ class ResultCache {
     Set& set = sets_[SetOf(key)];
     size_t victim = kWays;  // first empty or matching way wins without the hand
     for (size_t way = 0; way < kWays; ++way) {
-      if (set.keys[way] == key || set.keys[way] == kNoName) {
+      NameId current = set.keys[way].load(std::memory_order_relaxed);
+      if (current == key || current == kNoName) {
         victim = way;
         break;
       }
@@ -107,24 +125,51 @@ class ResultCache {
       }
       ++stats_.evictions;
     }
-    set.keys[victim] = key;
+    // Value before key: a concurrent invalidator matching the OLD key must never
+    // expose the new value under it, and publishing the new key only after the
+    // bytes are in place keeps key↔value pairing coherent for our own next Get.
+    set.keys[victim].store(kNoName, std::memory_order_relaxed);
     set.values[victim] = value;
+    set.keys[victim].store(key, std::memory_order_relaxed);
     set.armed[victim] = 1;
     ++stats_.insertions;
   }
 
+  // Revokes `keys` (sorted or not, duplicates fine).  The only entry point that may
+  // run concurrently with the owner thread's Get/Put: it writes nothing but key
+  // slots, flipping matches to kNoName.  Lookups already past their key check keep
+  // the stale result (documented in-flight semantics); later lookups miss and
+  // recompute against the fresh routes.
+  void Invalidate(std::span<const NameId> keys) {
+    if (sets_.empty()) {
+      return;
+    }
+    for (NameId key : keys) {
+      Set& set = sets_[SetOf(key)];
+      for (size_t way = 0; way < kWays; ++way) {
+        if (set.keys[way].load(std::memory_order_relaxed) == key) {
+          set.keys[way].store(kNoName, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
   void Clear() {
     for (Set& set : sets_) {
-      set = Set{};
+      for (size_t way = 0; way < kWays; ++way) {
+        set.keys[way].store(kNoName, std::memory_order_relaxed);
+        set.armed[way] = 0;
+      }
+      set.hand = 0;
     }
   }
 
  private:
   struct Set {
-    NameId keys[kWays] = {kNoName, kNoName, kNoName, kNoName};
-    uint8_t armed[kWays] = {0, 0, 0, 0};  // CLOCK reference bits
+    std::atomic<NameId> keys[kWays] = {kNoName, kNoName, kNoName, kNoName};
+    uint8_t armed[kWays] = {0, 0, 0, 0};  // CLOCK reference bits (owner-only)
     uint8_t hand = 0;
-    BatchLookup values[kWays];
+    BatchLookup values[kWays];  // owner-only: the invalidator never touches values
   };
 
   size_t SetOf(NameId key) const {

@@ -138,6 +138,73 @@ Link* Graph::AddLink(Node* from, Node* to, Cost cost, char op, bool right_syntax
   return link;
 }
 
+Link* Graph::FindLink(Node* from, Node* to) const {
+  for (Link* link = from->links; link != nullptr; link = link->next) {
+    if (link->to == to && !link->alias()) {
+      return link;
+    }
+  }
+  return nullptr;
+}
+
+Link* Graph::SetLinkState(Node* from, Node* to, Cost cost, char op, bool right) {
+  if (from == to) {
+    return nullptr;
+  }
+  if (cost < 0) {
+    cost = 0;
+  }
+  if (Link* link = FindLink(from, to)) {
+    link->cost = cost;
+    link->op = op;
+    if (right) {
+      link->flags |= kLinkRight;
+    } else {
+      link->flags &= ~static_cast<uint32_t>(kLinkRight);
+    }
+    return link;
+  }
+  return AddLink(from, to, cost, op, right, SourcePos{});
+}
+
+bool Graph::RemoveLink(Node* from, Node* to) {
+  Link* previous = nullptr;
+  for (Link* link = from->links; link != nullptr; previous = link, link = link->next) {
+    if (link->to != to || link->alias()) {
+      continue;
+    }
+    if (previous == nullptr) {
+      from->links = link->next;
+    } else {
+      previous->next = link->next;
+    }
+    if (from->links_tail == link) {
+      from->links_tail = previous;
+    }
+    --link_count_;
+    return true;  // at most one non-alias link per (from, to): AddLink deduplicates
+  }
+  return false;
+}
+
+void Graph::RetireNode(Node* node) {
+  size_t dropped = 0;
+  for (Link* link = node->links; link != nullptr; link = link->next) {
+    ++dropped;
+  }
+  link_count_ -= dropped;
+  node->links = nullptr;
+  node->links_tail = nullptr;
+  node->flags |= kNodeDeleted;
+}
+
+void Graph::ReviveNode(Node* node) {
+  node->flags = IsDomainName(NameOf(node)) ? (kNodeDomain | kNodeGatewayed) : 0u;
+  node->adjust = 0;
+  node->links = nullptr;
+  node->links_tail = nullptr;
+}
+
 void Graph::AddAlias(Node* a, Node* b, SourcePos pos) {
   if (a == b) {
     diag_->Warn(pos, "alias of " + std::string(NameOf(a)) + " to itself ignored");

@@ -83,6 +83,30 @@ class Graph {
   // Declares `a` and `b` to be the same machine (a pair of zero-cost ALIAS edges).
   void AddAlias(Node* a, Node* b, SourcePos pos);
 
+  // --- incremental patching (src/incr) ---
+  //
+  // These bypass the duplicate-resolution diagnostics: the caller (MapBuilder) has
+  // already computed the declaration set's effective winner and is bringing the live
+  // graph to the state a from-scratch rebuild would produce.
+
+  // Finds the non-alias from→to link; nullptr if absent.
+  Link* FindLink(Node* from, Node* to) const;
+  // Sets the effective (cost, op, right) of from→to, creating the link if absent.
+  Link* SetLinkState(Node* from, Node* to, Cost cost, char op, bool right);
+  // Unlinks the non-alias from→to link; returns true if one existed.
+  bool RemoveLink(Node* from, Node* to);
+  // Retires a node no remaining declaration references: marks it deleted and drops
+  // its adjacency.  The node object survives (NameIds and shadow chains are stable);
+  // ReviveNode restores it to the state CreateNode would have produced.
+  void RetireNode(Node* node);
+  void ReviveNode(Node* node);
+  // True if `id`'s shadow chain holds more than one node or a private node — the
+  // name-keyed declaration diffing the patcher does is only sound without shadows.
+  bool HasShadowedName(NameId id) const {
+    const Node* head = ChainHead(id);
+    return head != nullptr && (head->shadow != nullptr || head->is_private());
+  }
+
   // NAME = op{members}(cost): placeholder node, member→net at `cost`, net→member at 0.
   Node* DeclareNet(Node* net, const std::vector<Node*>& members, Cost cost, char op,
                    bool right_syntax, SourcePos pos);

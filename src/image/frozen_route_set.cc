@@ -4,8 +4,8 @@ namespace pathalias {
 
 std::optional<FrozenImage> FrozenImage::Open(const std::string& path,
                                              image::ImageView::Verify verify,
-                                             std::string* error) {
-  std::optional<image::MappedFile> file = image::MappedFile::Open(path);
+                                             std::string* error, bool readahead) {
+  std::optional<image::MappedFile> file = image::MappedFile::Open(path, readahead);
   if (!file) {
     if (error != nullptr) {
       *error = "cannot open or read " + path;

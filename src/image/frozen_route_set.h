@@ -75,10 +75,12 @@ class FrozenRouteSet {
 // Movable; the mapping's address (and thus every pointer in routes()) survives moves.
 class FrozenImage {
  public:
+  // `readahead` forwards to MappedFile::Open — ask for it when the image is about
+  // to serve a bulk batch (routedb's --image paths do), skip it for one-off gets.
   static std::optional<FrozenImage> Open(
       const std::string& path,
       image::ImageView::Verify verify = image::ImageView::Verify::kStructure,
-      std::string* error = nullptr);
+      std::string* error = nullptr, bool readahead = false);
 
   const FrozenRouteSet& routes() const { return set_; }
   const image::ImageView& view() const { return view_; }

@@ -158,5 +158,18 @@ bool ImageWriter::WriteFile(const RouteSet& routes, const std::string& path) {
   return written == buffer.size() && close_status == 0;
 }
 
+bool ImageWriter::Refreeze(const RouteSet& routes, const std::string& path) {
+  std::string temp = path + ".refreeze.tmp";
+  if (!WriteFile(routes, temp)) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  if (std::rename(temp.c_str(), path.c_str()) != 0) {
+    std::remove(temp.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace image
 }  // namespace pathalias

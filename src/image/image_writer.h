@@ -23,6 +23,12 @@ class ImageWriter {
 
   // Freeze() straight to a file.  Returns false on I/O failure.
   static bool WriteFile(const RouteSet& routes, const std::string& path);
+
+  // Rewrites an existing image in place from a patched RouteSet: freeze to a
+  // temporary sibling, then rename over `path`, so a reader that opened (and
+  // mmap'd) the old image keeps its intact mapping while new opens see the fresh
+  // routes — the update step of the incremental pipeline.
+  static bool Refreeze(const RouteSet& routes, const std::string& path);
 };
 
 }  // namespace image

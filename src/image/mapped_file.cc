@@ -32,7 +32,7 @@ bool ReadWholeFile(const std::string& path, std::string* out) {
 
 }  // namespace
 
-std::optional<MappedFile> MappedFile::Open(const std::string& path) {
+std::optional<MappedFile> MappedFile::Open(const std::string& path, bool readahead) {
   MappedFile file;
 #ifdef PATHALIAS_HAVE_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);
@@ -44,6 +44,10 @@ std::optional<MappedFile> MappedFile::Open(const std::string& path) {
       if (mapped != MAP_FAILED) {
         file.mapped_ = static_cast<char*>(mapped);
         file.size_ = static_cast<size_t>(st.st_size);
+        if (readahead) {
+          // Advisory only: an unsupported advice value must not fail the open.
+          (void)::madvise(file.mapped_, file.size_, MADV_WILLNEED);
+        }
       }
     }
     ::close(fd);
@@ -51,6 +55,8 @@ std::optional<MappedFile> MappedFile::Open(const std::string& path) {
       return file;
     }
   }
+#else
+  (void)readahead;  // the eager-read fallback is its own readahead
 #endif
   if (!ReadWholeFile(path, &file.buffer_)) {
     return std::nullopt;

@@ -17,7 +17,13 @@ namespace image {
 
 class MappedFile {
  public:
-  static std::optional<MappedFile> Open(const std::string& path);
+  // With `readahead` the mapping is announced to the kernel as about-to-be-needed
+  // (madvise(MADV_WILLNEED)) so page-ins overlap the caller's first probes instead
+  // of serializing behind them — the right call for a batch run that will touch
+  // most of the image, the wrong one for a single lookup (first slice of the
+  // ROADMAP "image generation v2" item).  Advisory: failure is ignored, and the
+  // heap-buffer fallback reads everything eagerly anyway.
+  static std::optional<MappedFile> Open(const std::string& path, bool readahead = false);
 
   MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
   MappedFile& operator=(MappedFile&& other) noexcept;

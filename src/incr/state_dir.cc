@@ -1,0 +1,187 @@
+#include "src/incr/state_dir.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pathalias {
+namespace incr {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kManifestVersion = 1;
+
+// Slot index + digest of the serialized bytes: content-addressed, so a re-save
+// never overwrites a payload an older manifest still references (unless the bytes
+// are identical, in which case overwriting is a no-op).
+std::string ArtifactFileName(size_t index, uint64_t bytes_digest) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "%04zu-%016llx.pai", index,
+                static_cast<unsigned long long>(bytes_digest));
+  return name;
+}
+
+bool WriteWholeFile(const fs::path& path, std::string_view bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  return out.good();
+}
+
+// Temp-then-rename, so a crash mid-write leaves the previous version intact.
+bool WriteFileAtomically(const fs::path& path, std::string_view bytes) {
+  fs::path temp = path;
+  temp += ".tmp";
+  if (!WriteWholeFile(temp, bytes)) {
+    return false;
+  }
+  std::error_code ec;
+  fs::rename(temp, path, ec);
+  return !ec;
+}
+
+std::optional<std::string> ReadWholeFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return std::nullopt;
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+bool SaveStateDir(const std::string& dir, const StateDirContents& contents) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "artifacts", ec);
+  if (ec) {
+    return false;
+  }
+  // Payloads are content-addressed and written via temp+rename, so a save torn at
+  // ANY point leaves the previous manifest's payload set intact and readable; the
+  // manifest rename below is the single commit point.
+  std::vector<std::string> referenced;
+  std::string manifest;
+  manifest += "pathalias-state " + std::to_string(kManifestVersion) + "\n";
+  manifest += "local\t" + contents.local + "\n";
+  manifest += "ignore_case\t" + std::string(contents.ignore_case ? "1" : "0") + "\n";
+  manifest += "files\t" + std::to_string(contents.artifacts.size()) + "\n";
+  for (size_t i = 0; i < contents.artifacts.size(); ++i) {
+    const FileArtifact& artifact = contents.artifacts[i];
+    std::string bytes = SerializeArtifact(artifact);
+    std::string file_name = ArtifactFileName(i, DigestBytes(bytes));
+    fs::path payload_path = fs::path(dir) / "artifacts" / file_name;
+    // Content-addressed: an existing file already holds exactly these bytes, so a
+    // 1-file update writes one payload, not the whole map's worth.
+    if (!fs::exists(payload_path, ec) && !WriteFileAtomically(payload_path, bytes)) {
+      return false;
+    }
+    manifest += std::to_string(artifact.digest) + "\t" + file_name + "\t" +
+                artifact.file_name + "\n";
+    referenced.push_back(std::move(file_name));
+  }
+  if (!WriteFileAtomically(fs::path(dir) / "manifest", manifest)) {
+    return false;
+  }
+  // Now that the new manifest is committed, drop payloads nothing references.
+  // Best-effort: a leftover file is dead weight, never a correctness problem.
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(fs::path(dir) / "artifacts", ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.ends_with(".pai") &&
+        std::find(referenced.begin(), referenced.end(), name) == referenced.end()) {
+      fs::remove(entry.path(), ec);
+    }
+  }
+  return true;
+}
+
+std::optional<StateDirContents> LoadStateDir(const std::string& dir, std::string* error) {
+  auto fail = [&](std::string message) -> std::optional<StateDirContents> {
+    if (error != nullptr) {
+      *error = std::move(message);
+    }
+    return std::nullopt;
+  };
+  std::optional<std::string> manifest = ReadWholeFile(fs::path(dir) / "manifest");
+  if (!manifest.has_value()) {
+    return fail("cannot read manifest");
+  }
+  std::istringstream in(*manifest);
+  std::string word;
+  int version = 0;
+  if (!(in >> word >> version) || word != "pathalias-state" || version != kManifestVersion) {
+    return fail("unrecognized manifest header");
+  }
+  StateDirContents contents;
+  std::string line;
+  std::getline(in, line);  // finish the header line
+  auto next_field = [&](std::string_view key, std::string* value) {
+    if (!std::getline(in, line)) {
+      return false;
+    }
+    size_t tab = line.find('\t');
+    if (tab == std::string::npos || std::string_view(line).substr(0, tab) != key) {
+      return false;
+    }
+    *value = line.substr(tab + 1);
+    return true;
+  };
+  std::string field;
+  if (!next_field("local", &contents.local)) {
+    return fail("manifest missing local host");
+  }
+  if (!next_field("ignore_case", &field)) {
+    return fail("manifest missing ignore_case");
+  }
+  contents.ignore_case = field == "1";
+  if (!next_field("files", &field)) {
+    return fail("manifest missing file count");
+  }
+  size_t count = 0;
+  try {
+    count = std::stoul(field);
+  } catch (...) {
+    return fail("malformed file count");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      return fail("manifest truncated");
+    }
+    size_t tab1 = line.find('\t');
+    size_t tab2 = tab1 == std::string::npos ? std::string::npos : line.find('\t', tab1 + 1);
+    if (tab2 == std::string::npos) {
+      return fail("malformed manifest line");
+    }
+    uint64_t digest = 0;
+    try {
+      digest = std::stoull(line.substr(0, tab1));
+    } catch (...) {
+      return fail("malformed digest");
+    }
+    std::string artifact_file = line.substr(tab1 + 1, tab2 - tab1 - 1);
+    std::string input_name = line.substr(tab2 + 1);
+    std::optional<std::string> bytes = ReadWholeFile(fs::path(dir) / "artifacts" / artifact_file);
+    if (!bytes.has_value()) {
+      return fail("cannot read artifact " + artifact_file);
+    }
+    std::optional<FileArtifact> artifact = DeserializeArtifact(*bytes);
+    if (!artifact.has_value() || artifact->digest != digest ||
+        artifact->file_name != input_name) {
+      return fail("artifact " + artifact_file + " does not match its manifest entry");
+    }
+    contents.artifacts.push_back(std::move(*artifact));
+  }
+  return contents;
+}
+
+}  // namespace incr
+}  // namespace pathalias

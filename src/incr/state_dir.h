@@ -1,0 +1,45 @@
+// StateDir: the on-disk form of a MapBuilder's retained artifacts.
+//
+// Layout (all files under one directory):
+//   manifest            text header: format version, local host, ignore_case, then
+//                       one line per input file — digest, artifact file, input name
+//   artifacts/NNNN.pai  serialized FileArtifact (src/incr/artifact.h), in file order
+//
+// The manifest is written last, via temp-file + rename, so a crashed save leaves the
+// previous state readable.  Digests live in both the manifest and the artifact
+// bodies; Load verifies they agree and rejects the directory wholesale on any
+// mismatch (a state dir is a cache — the inputs can always rebuild it).
+//
+// Consumers: `pathalias --incremental <dir>` (skip lexing unchanged inputs across
+// invocations) and `routedb update <image> <changed-files...>` (which keeps the
+// state beside the image at <image>.state).
+
+#ifndef SRC_INCR_STATE_DIR_H_
+#define SRC_INCR_STATE_DIR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/incr/artifact.h"
+
+namespace pathalias {
+namespace incr {
+
+struct StateDirContents {
+  std::string local;        // the effective local host the state was built with
+  bool ignore_case = false;
+  std::vector<FileArtifact> artifacts;
+};
+
+// Writes `contents` under `dir` (created if missing).  False on any I/O failure.
+bool SaveStateDir(const std::string& dir, const StateDirContents& contents);
+
+// Reads a state directory back.  nullopt (with *error set) on missing/corrupt
+// manifest, unreadable artifacts, or digest disagreement.
+std::optional<StateDirContents> LoadStateDir(const std::string& dir, std::string* error);
+
+}  // namespace incr
+}  // namespace pathalias
+
+#endif  // SRC_INCR_STATE_DIR_H_

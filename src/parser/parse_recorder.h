@@ -1,0 +1,61 @@
+// ParseRecorder: a tap on the parser's graph-mutation stream.
+//
+// The incremental pipeline (src/incr) needs each input file's declarations in a
+// replayable, graph-independent form.  Rather than a second parser, the production
+// Parser dual-writes: every call it makes into Graph is mirrored, in order, to an
+// optional recorder.  Replaying the recorded stream against any Graph — in the same
+// file order — performs the exact same sequence of Graph calls a fresh parse would,
+// which is what makes replay-built graphs equivalent to parse-built ones by
+// construction.
+//
+// The interface lives in the parser layer (not src/incr) so the dependency points
+// downward; src/incr implements it.  Names are passed as views into the file content
+// being parsed: valid for the duration of the enclosing ParseFile call only.
+
+#ifndef SRC_PARSER_PARSE_RECORDER_H_
+#define SRC_PARSER_PARSE_RECORDER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/graph/cost.h"
+
+namespace pathalias {
+
+class ParseRecorder {
+ public:
+  virtual ~ParseRecorder() = default;
+
+  // Mirrors graph_->Intern(name): find-or-create the visible node.  Emitted for every
+  // name the parser resolves, in resolution order, so replay reproduces node-creation
+  // order (and thus shadow-chain order) exactly.
+  virtual void RecordIntern(std::string_view name) = 0;
+
+  // The name opened a host declaration line — the "first declared host" bookkeeping
+  // that provides the default local host.  Follows the name's RecordIntern.
+  virtual void RecordHostDecl(std::string_view name) = 0;
+
+  // Mirrors graph_->AddLink(from, to, ...) from a host declaration's link list.
+  virtual void RecordLink(std::string_view from, std::string_view to, Cost cost, char op,
+                          bool right) = 0;
+
+  // Mirrors graph_->AddAlias(a, b).
+  virtual void RecordAlias(std::string_view a, std::string_view b) = 0;
+
+  // Mirrors graph_->DeclareNet(net, members, ...).
+  virtual void RecordNet(std::string_view net, const std::vector<std::string_view>& members,
+                         Cost cost, char op, bool right) = 0;
+
+  // Mirror the keyword declarations.
+  virtual void RecordPrivate(std::string_view name) = 0;
+  virtual void RecordDeadHost(std::string_view name) = 0;
+  virtual void RecordDeadLink(std::string_view from, std::string_view to) = 0;
+  virtual void RecordDelete(std::string_view name) = 0;
+  virtual void RecordAdjust(std::string_view name, Cost amount) = 0;
+  virtual void RecordGatewayed(std::string_view name) = 0;
+  virtual void RecordGatewayLink(std::string_view net, std::string_view gateway) = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_PARSER_PARSE_RECORDER_H_

@@ -100,6 +100,10 @@ void Parser::ParseLine() {
 
 void Parser::ParseHostDeclaration(Token name) {
   Node* from = graph_->Intern(name.id);
+  if (recorder_ != nullptr) {
+    recorder_->RecordIntern(name.text);
+    recorder_->RecordHostDecl(name.text);
+  }
   if (first_host_ == kNoName && !IsDomainName(name.text)) {
     first_host_ = name.id;
   }
@@ -115,6 +119,10 @@ void Parser::ParseHostDeclaration(Token name) {
     }
     Node* to = graph_->Intern(spec.id);
     graph_->AddLink(from, to, spec.cost, spec.op, spec.right, Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(spec.name);
+      recorder_->RecordLink(name.text, spec.name, spec.cost, spec.op, spec.right);
+    }
     if (At(TokenKind::kComma)) {
       Advance();
       SkipNewlines();  // a trailing comma continues the declaration on the next line
@@ -201,6 +209,7 @@ void Parser::ParseEqualsDeclaration(Token name) {
     Advance();
     SkipNewlines();
     std::vector<Node*> members;
+    std::vector<std::string_view> member_names;
     bool bad = false;
     while (!At(TokenKind::kRBrace)) {
       if (At(TokenKind::kEnd)) {
@@ -214,6 +223,10 @@ void Parser::ParseEqualsDeclaration(Token name) {
         break;
       }
       members.push_back(graph_->Intern(token_.id));
+      member_names.push_back(token_.text);
+      if (recorder_ != nullptr) {
+        recorder_->RecordIntern(token_.text);
+      }
       Advance();
       if (At(TokenKind::kComma)) {
         Advance();
@@ -232,6 +245,10 @@ void Parser::ParseEqualsDeclaration(Token name) {
     Cost cost = ParseOptionalCost(kDefaultCost);
     Node* net = graph_->Intern(name.id);
     graph_->DeclareNet(net, members, cost, op, right, Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(name.text);
+      recorder_->RecordNet(name.text, member_names, cost, op, right);
+    }
     ++accepted_;
     return;
   }
@@ -241,8 +258,17 @@ void Parser::ParseEqualsDeclaration(Token name) {
     return;
   }
   if (At(TokenKind::kName)) {
-    // name = other: the two names refer to the same machine.
-    graph_->AddAlias(graph_->Intern(name.id), graph_->Intern(token_.id), Here());
+    // name = other: the two names refer to the same machine.  The interns are
+    // sequenced explicitly: node-creation order must not depend on argument
+    // evaluation order (replay reproduces this exact sequence).
+    Node* a = graph_->Intern(name.id);
+    Node* b = graph_->Intern(token_.id);
+    graph_->AddAlias(a, b, Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(name.text);
+      recorder_->RecordIntern(token_.text);
+      recorder_->RecordAlias(name.text, token_.text);
+    }
     Advance();
     ++accepted_;
     return;
@@ -279,6 +305,9 @@ bool Parser::ParseKeywordDeclaration(const Token& name) {
 void Parser::ParsePrivateBody() {
   while (At(TokenKind::kName)) {
     graph_->DeclarePrivate(token_.id, Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordPrivate(token_.text);
+    }
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();
@@ -297,10 +326,21 @@ void Parser::ParseDeadBody() {
         ErrorHere("expected a host name after '!' in dead link");
         return;
       }
-      graph_->MarkDeadLink(graph_->Intern(first.id), graph_->Intern(token_.id), Here());
+      Node* from = graph_->Intern(first.id);
+      Node* to = graph_->Intern(token_.id);
+      graph_->MarkDeadLink(from, to, Here());
+      if (recorder_ != nullptr) {
+        recorder_->RecordIntern(first.text);
+        recorder_->RecordIntern(token_.text);
+        recorder_->RecordDeadLink(first.text, token_.text);
+      }
       Advance();
     } else {
       graph_->MarkDeadHost(graph_->Intern(first.id), Here());
+      if (recorder_ != nullptr) {
+        recorder_->RecordIntern(first.text);
+        recorder_->RecordDeadHost(first.text);
+      }
     }
     if (At(TokenKind::kComma)) {
       Advance();
@@ -312,6 +352,10 @@ void Parser::ParseDeadBody() {
 void Parser::ParseDeleteBody() {
   while (At(TokenKind::kName)) {
     graph_->DeleteHost(graph_->Intern(token_.id), Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(token_.text);
+      recorder_->RecordDelete(token_.text);
+    }
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();
@@ -323,6 +367,10 @@ void Parser::ParseDeleteBody() {
 void Parser::ParseAdjustBody() {
   while (At(TokenKind::kName)) {
     Node* host = graph_->Intern(token_.id);
+    std::string_view host_name = token_.text;
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(host_name);
+    }
     Advance();
     bool had_cost = false;
     Cost amount = ParseOptionalCost(0, &had_cost);
@@ -331,6 +379,9 @@ void Parser::ParseAdjustBody() {
       return;
     }
     graph_->AdjustHost(host, amount, Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordAdjust(host_name, amount);
+    }
     if (At(TokenKind::kComma)) {
       Advance();
     }
@@ -341,6 +392,10 @@ void Parser::ParseAdjustBody() {
 void Parser::ParseGatewayedBody() {
   while (At(TokenKind::kName)) {
     graph_->MarkGatewayed(graph_->Intern(token_.id), Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(token_.text);
+      recorder_->RecordGatewayed(token_.text);
+    }
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();
@@ -362,7 +417,14 @@ void Parser::ParseGatewayBody() {
       ErrorHere("expected a gateway host name after '!'");
       return;
     }
-    graph_->MarkGatewayLink(graph_->Intern(net.id), graph_->Intern(token_.id), Here());
+    Node* net_node = graph_->Intern(net.id);
+    Node* gateway = graph_->Intern(token_.id);
+    graph_->MarkGatewayLink(net_node, gateway, Here());
+    if (recorder_ != nullptr) {
+      recorder_->RecordIntern(net.text);
+      recorder_->RecordIntern(token_.text);
+      recorder_->RecordGatewayLink(net.text, token_.text);
+    }
     Advance();
     if (At(TokenKind::kComma)) {
       Advance();

@@ -17,6 +17,7 @@
 
 #include "src/graph/graph.h"
 #include "src/parser/lexer.h"
+#include "src/parser/parse_recorder.h"
 #include "src/parser/scanner.h"
 
 namespace pathalias {
@@ -31,6 +32,10 @@ struct InputFile {
 class Parser {
  public:
   explicit Parser(Graph* graph) : graph_(graph) {}
+
+  // Mirrors every graph mutation to `recorder` (see parse_recorder.h); nullptr stops
+  // recording.  The incremental pipeline records per-file artifacts this way.
+  void set_recorder(ParseRecorder* recorder) { recorder_ = recorder; }
 
   // Parses one file through the given scanner.  Errors are reported to the graph's
   // diagnostics; returns the number of declarations accepted.
@@ -81,6 +86,7 @@ class Parser {
   void ParseGatewayBody();
 
   Graph* graph_;
+  ParseRecorder* recorder_ = nullptr;
   Scanner* scanner_ = nullptr;
   std::string file_name_;
   Token token_;

@@ -1,5 +1,6 @@
 #include "src/route_db/route_db.h"
 
+#include <algorithm>
 #include <charconv>
 
 #include "src/support/cdb.h"
@@ -48,6 +49,46 @@ void RouteSet::Add(std::string_view name, std::string_view route, Cost cost) {
   slot = static_cast<uint32_t>(routes_.size());
 }
 
+std::vector<NameId> RouteSet::ApplyDelta(std::span<const RouteUpsert> upserts,
+                                         std::span<const std::string> erases) {
+  std::vector<NameId> dirty;
+  bool erased_any = false;
+  for (const std::string& name : erases) {
+    NameId id = names_.Find(name);
+    if (id == kNoName || id >= by_name_.size() || by_name_[id] == 0) {
+      continue;
+    }
+    routes_[by_name_[id] - 1].name = kNoName;  // tombstone; compacted below
+    by_name_[id] = 0;
+    dirty.push_back(id);
+    erased_any = true;
+  }
+  if (erased_any) {
+    routes_.erase(std::remove_if(routes_.begin(), routes_.end(),
+                                 [](const Route& route) { return route.name == kNoName; }),
+                  routes_.end());
+    std::fill(by_name_.begin(), by_name_.end(), 0u);
+    for (size_t i = 0; i < routes_.size(); ++i) {
+      by_name_[routes_[i].name] = static_cast<uint32_t>(i) + 1;
+    }
+  }
+  for (const RouteUpsert& upsert : upserts) {
+    NameId id = names_.Find(upsert.name);
+    if (id != kNoName) {
+      const Route* existing = Find(id);
+      if (existing != nullptr && existing->route == upsert.route &&
+          existing->cost == upsert.cost) {
+        continue;  // byte-identical: not dirty, keep caches warm
+      }
+    }
+    Add(upsert.name, upsert.route, upsert.cost);
+    dirty.push_back(names_.Find(upsert.name));
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
+}
+
 RouteSet RouteSet::FromEntries(const std::vector<RouteEntry>& entries) {
   RouteSet set;
   for (const RouteEntry& entry : entries) {
@@ -93,6 +134,29 @@ RouteSet RouteSet::FromText(std::string_view text, Diagnostics* diag) {
 std::string RouteSet::ToText(bool include_costs) const {
   std::string out;
   for (const Route& route : routes_) {
+    if (include_costs) {
+      out += std::to_string(route.cost);
+      out += '\t';
+    }
+    out += NameOf(route);
+    out += '\t';
+    out += route.route;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RouteSet::ToSortedText(bool include_costs) const {
+  std::vector<uint32_t> order(routes_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return NameOf(routes_[a]) < NameOf(routes_[b]);
+  });
+  std::string out;
+  for (uint32_t index : order) {
+    const Route& route = routes_[index];
     if (include_costs) {
       out += std::to_string(route.cost);
       out += '\t';

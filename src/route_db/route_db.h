@@ -11,6 +11,7 @@
 #define SRC_ROUTE_DB_ROUTE_DB_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,12 +41,28 @@ struct RouteView {
   explicit operator bool() const { return ok(); }
 };
 
+// One incremental route change: insert `name`'s route or replace it wholesale.
+struct RouteUpsert {
+  std::string name;
+  std::string route;
+  Cost cost = -1;
+};
+
 class RouteSet {
  public:
   RouteSet() = default;
 
   // Later adds of the same name replace earlier ones.
   void Add(std::string_view name, std::string_view route, Cost cost = -1);
+
+  // Applies an incremental delta — erase `erases`' routes, insert-or-replace
+  // `upserts` — and returns the NameIds (this set's interner space; stable across
+  // every delta, which is what keys cache invalidation) of the routes that actually
+  // changed.  A no-op upsert (identical route and cost) is not reported; an erase of
+  // an absent name is ignored.  Erased names keep their NameId: the interner never
+  // forgets, so a later re-add changes the same id it changed before.
+  std::vector<NameId> ApplyDelta(std::span<const RouteUpsert> upserts,
+                                 std::span<const std::string> erases);
 
   static RouteSet FromEntries(const std::vector<RouteEntry>& entries);
 
@@ -54,6 +71,11 @@ class RouteSet {
   static RouteSet FromText(std::string_view text, Diagnostics* diag = nullptr);
 
   std::string ToText(bool include_costs) const;
+
+  // ToText in name order regardless of insertion history: the canonical form the
+  // incremental pipeline's golden-equivalence checks compare byte-for-byte (an
+  // incrementally patched set and a rebuilt one order their routes_ differently).
+  std::string ToSortedText(bool include_costs) const;
 
   // cdb image: key = host name; value = route, or "cost\troute" when cost is known.
   std::string ToCdbBuffer() const;

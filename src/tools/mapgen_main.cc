@@ -26,6 +26,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--dir" && i + 1 < argc) {
       dir = argv[++i];
     } else {
+      // Name the offender (flag-parity with the other tools) before the usage line.
+      if (!arg.empty() && arg[0] == '-') {
+        std::cerr << "mapgen: unknown option " << arg << "\n";
+      } else {
+        std::cerr << "mapgen: unexpected argument " << arg << "\n";
+      }
       std::cerr << "usage: mapgen [--small] [--seed N] [--dir DIR]\n";
       return 2;
     }

@@ -12,6 +12,15 @@
 //   routedb get   [--image] <db> <host>         print the raw route for a host
 //   routedb resolve [--image] <db> <address>... resolve full addresses (domain-suffix
 //                                               lookup, rightmost-known rewriting)
+//   routedb update --init [--local NAME] <routes.pari> <map-files...>
+//                                               parse the map, freeze the image, and
+//                                               record per-file parse artifacts in
+//                                               <routes.pari>.state for later updates
+//   routedb update [--remove FILE]... <routes.pari> [changed-map-files...]
+//                                               re-parse only the named (changed)
+//                                               files, patch the retained pipeline
+//                                               state, rewrite the image atomically,
+//                                               and report patch vs rebuild
 //   routedb batch [--image] [--threads N] [--cache-entries M] [--stats] <db>
 //                 [hosts.txt]                   bulk host lookup, one per line (stdin
 //                                               if no file): "host<TAB>route-key" per
@@ -36,6 +45,8 @@
 #include "src/exec/batch_engine.h"
 #include "src/image/frozen_route_set.h"
 #include "src/image/image_writer.h"
+#include "src/incr/map_builder.h"
+#include "src/incr/state_dir.h"
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
 
@@ -44,6 +55,9 @@ namespace {
 int Usage() {
   std::cerr << "usage: routedb build <routes.txt> <routes.cdb>\n"
                "       routedb freeze <routes.txt> <routes.pari>\n"
+               "       routedb update --init [--local NAME] <routes.pari> <map-files...>\n"
+               "       routedb update [--remove FILE]... <routes.pari> "
+               "[changed-map-files...]\n"
                "       routedb get [--image] <db> <host>\n"
                "       routedb resolve [--image] <db> <address>...\n"
                "       routedb batch [--image] [--threads N] [--cache-entries M] "
@@ -208,6 +222,159 @@ int RunQueryCommand(const std::string& command, const RouteSourceT& routes,
   return RunBatch(routes, in, operands.front(), flags);
 }
 
+// The incremental image pipeline: map files → MapBuilder → refrozen .pari, with the
+// per-file parse artifacts retained in <image>.state between invocations.
+//
+// A one-shot process has no retained shortest-path tree, so the update first
+// replays + maps the PREVIOUS state (no lexing — that is the win at this
+// granularity) and then patches to the new one; the patch pass is what yields the
+// per-edit delta report (dirty nodes, routes changed) an operator reads for blast
+// radius.  The patch path's full wall-clock advantage belongs to process-resident
+// builders (see the incremental_update benchmark), not this CLI.
+int RunUpdate(int argc, char** argv) {
+  bool init = false;
+  std::string local;
+  std::vector<std::string> removed;
+  std::vector<const char*> positional;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--init") {
+      init = true;
+    } else if (arg == "--local") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      local = argv[++i];
+    } else if (arg == "--remove") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      removed.emplace_back(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "routedb: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.empty() || (init && positional.size() < 2)) {
+    return Usage();
+  }
+  std::string image_path = positional.front();
+  std::string state_dir = image_path + ".state";
+
+  std::vector<pathalias::InputFile> files;
+  for (size_t i = 1; i < positional.size(); ++i) {
+    std::ifstream in(positional[i]);
+    if (!in) {
+      std::cerr << "routedb: cannot open " << positional[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.push_back({positional[i], std::move(buffer).str()});
+  }
+
+  pathalias::incr::MapBuilderOptions builder_options;
+  builder_options.local = local;
+
+  if (!init) {
+    pathalias::incr::UpdateStats stats;
+    std::string error;
+    auto state = pathalias::incr::LoadStateDir(state_dir, &error);
+    if (!state.has_value()) {
+      std::cerr << "routedb: cannot load " << state_dir << " (" << error
+                << "); run routedb update --init first\n";
+      return 1;
+    }
+    if (!local.empty() && local != state->local) {
+      std::cerr << "routedb: state was built with local '" << state->local
+                << "'; re-run --init to change it\n";
+      return 1;
+    }
+    builder_options.local = state->local;
+    builder_options.ignore_case = state->ignore_case;
+    pathalias::incr::MapBuilder builder(builder_options);
+    builder.diag().set_sink([](const pathalias::Diagnostic& diagnostic) {
+      if (diagnostic.severity != pathalias::Severity::kNote) {
+        std::cerr << pathalias::ToString(diagnostic) << "\n";
+      }
+    });
+    if (!builder.BuildFromArtifacts(std::move(state->artifacts))) {
+      std::cerr << "routedb: retained state no longer builds; re-run --init\n";
+      return 1;
+    }
+    stats = builder.Update(files, removed);
+    if (!builder.valid()) {
+      std::cerr << "routedb: update left no buildable map\n";
+      return 1;
+    }
+    if (!pathalias::image::ImageWriter::Refreeze(builder.routes(), image_path)) {
+      std::cerr << "routedb: cannot rewrite " << image_path << "\n";
+      return 1;
+    }
+    pathalias::incr::StateDirContents contents;
+    contents.local = builder.options().local;
+    contents.ignore_case = builder.options().ignore_case;
+    contents.artifacts = builder.artifacts();
+    if (!pathalias::incr::SaveStateDir(state_dir, contents)) {
+      std::cerr << "routedb: cannot save " << state_dir << "\n";
+      return 1;
+    }
+    std::cerr << "routedb: " << (stats.patched ? "patched" : "rebuilt") << " ("
+              << stats.files_reparsed << " file(s) reparsed, " << stats.files_unchanged
+              << " unchanged";
+    if (stats.patched) {
+      std::cerr << ", " << stats.dirty_nodes << " dirty node(s)";
+    } else {
+      std::cerr << ", reason: " << stats.rebuild_reason;
+    }
+    std::cerr << "); " << stats.routes_changed << " route(s) changed, "
+              << builder.routes().size() << " total\n";
+    // The image and state were written (a bad line skips one declaration, pathalias
+    // style), but an automated updater must see that the inputs were not clean.
+    if (builder.diag().error_count() > 0) {
+      std::cerr << "routedb: update completed with " << builder.diag().error_count()
+                << " parse error(s); the rewritten image omits the malformed "
+                   "declarations\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  pathalias::incr::MapBuilder builder(builder_options);
+  builder.diag().set_sink([](const pathalias::Diagnostic& diagnostic) {
+    if (diagnostic.severity != pathalias::Severity::kNote) {
+      std::cerr << pathalias::ToString(diagnostic) << "\n";
+    }
+  });
+  if (!builder.Build(files)) {
+    std::cerr << "routedb: no routes could be built\n";
+    return 1;
+  }
+  if (!pathalias::image::ImageWriter::Refreeze(builder.routes(), image_path)) {
+    std::cerr << "routedb: cannot write " << image_path << "\n";
+    return 1;
+  }
+  pathalias::incr::StateDirContents contents;
+  contents.local = builder_options.local;
+  contents.ignore_case = builder_options.ignore_case;
+  contents.artifacts = builder.artifacts();
+  if (!pathalias::incr::SaveStateDir(state_dir, contents)) {
+    std::cerr << "routedb: cannot save " << state_dir << "\n";
+    return 1;
+  }
+  std::cerr << "routedb: initialized " << state_dir << " (" << files.size()
+            << " file(s)); froze " << builder.routes().size() << " routes (local "
+            << builder.local_name() << ")\n";
+  if (builder.diag().error_count() > 0) {
+    std::cerr << "routedb: init completed with " << builder.diag().error_count()
+              << " parse error(s); the frozen image omits the malformed declarations\n";
+    return 1;
+  }
+  return 0;
+}
+
 // Parses the integer operand of --threads / --cache-entries; false on junk.
 bool ParseCount(const char* flag, const char* text, uint64_t max, uint64_t* out) {
   std::string_view view(text);
@@ -265,6 +432,9 @@ int main(int argc, char** argv) {
               << reopened->routes().names().size() << " names) frozen\n";
     return 0;
   }
+  if (command == "update") {
+    return RunUpdate(argc, argv);
+  }
   if (command == "get" || command == "resolve" || command == "batch") {
     bool use_image = false;
     BatchFlags flags;
@@ -302,7 +472,9 @@ int main(int argc, char** argv) {
         }
         continue;
       }
-      if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      // Single-dash junk is an error too, not a path (parity with the other tools:
+      // "routedb get -x db host" must not try to open a database named "-x").
+      if (!arg.empty() && arg[0] == '-' && arg != "-") {
         std::cerr << "routedb: unknown option " << arg << "\n";
         return Usage();
       }
@@ -319,8 +491,11 @@ int main(int argc, char** argv) {
     }
     if (use_image) {
       std::string error;
+      // A batch run walks most of the image: tell the kernel up front.  get/resolve
+      // touch a handful of pages; faulting them on demand is cheaper.
+      bool readahead = command == "batch";
       auto image = pathalias::FrozenImage::Open(
-          db_path, pathalias::image::ImageView::Verify::kStructure, &error);
+          db_path, pathalias::image::ImageView::Verify::kStructure, &error, readahead);
       if (!image) {
         std::cerr << "routedb: cannot read " << db_path
                   << (error.empty() ? "" : ": " + error) << "\n";

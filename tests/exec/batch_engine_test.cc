@@ -136,6 +136,56 @@ TEST(BatchEngine, FrozenBackendMatchesLiveBackend) {
   }
 }
 
+// The flush-free serving update: a long-lived frozen engine adopts a refrozen image
+// and invalidates only the dirty ids.  Clean destinations may keep serving cached
+// views into the OLD mapping (kept alive, as the contract requires); dirty ones
+// must come back fresh.
+TEST(BatchEngine, AdoptRoutesServesFreshDirtyRoutesWithoutFlushingCleanOnes) {
+  RouteSet routes = BuildRoutes();
+  std::string image_a = image::ImageWriter::Freeze(routes);
+  std::string error;
+  auto view_a = image::ImageView::Adopt(image_a, image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(view_a.has_value()) << error;
+  FrozenRouteSet frozen_a(*view_a);
+
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.cache_entries = 1024;
+  FrozenBatchEngine engine(&frozen_a, options);
+
+  std::vector<std::string> pool = BuildQueryPool();
+  std::vector<std::string_view> queries = Views(pool);
+  std::vector<BatchLookup> results(queries.size());
+  engine.ResolveBatch(queries, results);  // warm every shard cache
+  ASSERT_GT(engine.stats().cache_lookups, 0u);
+
+  // The maintained RouteSet absorbs an edit (stable ids) and refreezes.
+  std::vector<RouteUpsert> upserts;
+  upserts.push_back({"host7", "rerouted!host7!%s", 9999});
+  std::vector<NameId> dirty_live = routes.ApplyDelta(upserts, {});
+  ASSERT_EQ(dirty_live.size(), 1u);
+  std::string image_b = image::ImageWriter::Freeze(routes);
+  auto view_b = image::ImageView::Adopt(image_b, image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(view_b.has_value()) << error;
+  FrozenRouteSet frozen_b(*view_b);
+
+  // The image id space tracks the live set's: translate by name (here they agree).
+  NameId dirty_id = frozen_b.names().Find("host7");
+  ASSERT_NE(dirty_id, kNoName);
+  std::vector<NameId> dirty = {dirty_id};
+  engine.AdoptRoutes(&frozen_b, dirty);  // image A stays alive above — required
+
+  std::vector<BatchLookup> after(queries.size());
+  engine.ResolveBatch(queries, after);
+  Resolver reference(&routes, ResolveOptions{});
+  std::vector<BatchLookup> expected(queries.size());
+  reference.ResolveBatch(queries, expected);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(after[i].route.ok(), expected[i].route.ok()) << queries[i];
+    EXPECT_EQ(after[i].route.route, expected[i].route.route) << queries[i];
+  }
+}
+
 TEST(BatchEngine, NinetyPercentRepeatedDestinationsIdenticalWithCacheOnAndOff) {
   // The satellite case: a delivery scan where 90% of the batch is a hot set of
   // repeated destinations.  The cache must change the speed, never the bytes.

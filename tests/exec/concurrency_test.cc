@@ -180,6 +180,55 @@ TEST(Concurrency, WidthOnePoolIsSerial) {
   EXPECT_EQ(sum, 45);
 }
 
+// The incremental-update shape: an updater thread revokes dirty route keys while
+// batch readers are mid-flight over their shard caches.  Under TSan this is the
+// race detector for ResultCache's atomic key slots; functionally, every batch must
+// still resolve every query correctly (the source itself never changes here, so
+// stale-vs-fresh cannot diverge — what is being exercised is the key-slot
+// synchronization and the engine's cross-thread Invalidate entry point).
+TEST(Concurrency, CacheInvalidationRacesBatchReaders) {
+  RouteSet routes = BuildRoutes();
+  std::vector<std::string> pool = BuildQueries();
+  std::vector<std::string_view> queries = Views(pool);
+
+  // Dirty ids: every third interned destination, the hot-path shape of a 1-file edit.
+  std::vector<NameId> dirty;
+  for (size_t i = 0; i < routes.routes().size(); i += 3) {
+    dirty.push_back(routes.routes()[i].name);
+  }
+
+  BatchEngineOptions options;
+  options.threads = 4;
+  options.cache_entries = 256;
+  BasicBatchEngine<RouteSet> engine(&routes, options);
+
+  Resolver reference(&routes, ResolveOptions{});
+  std::vector<BatchLookup> expected(queries.size());
+  reference.ResolveBatch(queries, expected);
+
+  std::atomic<bool> stop{false};
+  std::thread invalidator([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      engine.InvalidateRoutes(dirty);
+    }
+  });
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<BatchLookup> results(queries.size());
+    size_t resolved = engine.ResolveBatch(queries, results);
+    size_t expected_resolved = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      ASSERT_EQ(results[i].route.ok(), expected[i].route.ok()) << queries[i];
+      ASSERT_EQ(results[i].via, expected[i].via) << queries[i];
+      if (expected[i].route.ok()) {
+        ++expected_resolved;
+      }
+    }
+    ASSERT_EQ(resolved, expected_resolved);
+  }
+  stop.store(true);
+  invalidator.join();
+}
+
 }  // namespace
 }  // namespace exec
 }  // namespace pathalias

@@ -352,5 +352,119 @@ TEST_F(CliTest, MapgenIsDeterministic) {
   EXPECT_EQ(a.output, b.output);
 }
 
+// Unknown-option parity: every tool must reject junk flags — single- and
+// double-dash — with a usage error rather than treating them as paths.
+TEST_F(CliTest, EveryToolRejectsUnknownOptions) {
+  const std::pair<std::string, std::string> commands[] = {
+      {"pathalias", std::string(PATHALIAS_BIN)},
+      {"mapcheck", std::string(MAPCHECK_BIN)},
+      {"mapgen", std::string(MAPGEN_BIN)},
+      {"routedb get", std::string(ROUTEDB_BIN) + " get"},
+      {"routedb batch", std::string(ROUTEDB_BIN) + " batch"},
+      {"routedb update", std::string(ROUTEDB_BIN) + " update"},
+  };
+  for (const auto& [label, command] : commands) {
+    for (const char* bogus : {"--bogus", "-zz"}) {
+      CommandResult result = RunCommand(command + " " + bogus + " " + map_path_ +
+                                        " < /dev/null");
+      EXPECT_EQ(WEXITSTATUS(result.status), 2) << label << " " << bogus;
+      EXPECT_NE(result.output.find(bogus), std::string::npos)
+          << label << " should name the offending flag";
+    }
+  }
+}
+
+TEST_F(CliTest, PathaliasIncrementalMatchesPlainRunAcrossEdits) {
+  fs::path state = dir_ / "state";
+  std::string base = std::string(PATHALIAS_BIN) + " -c -l unc ";
+  CommandResult plain = RunCommand(base + map_path_);
+  CommandResult incremental =
+      RunCommand(base + "--incremental " + state.string() + " " + map_path_);
+  EXPECT_EQ(WEXITSTATUS(incremental.status), 0);
+  EXPECT_EQ(incremental.output, plain.output);
+
+  // Edit the map; the incremental run must re-parse and match the plain run again.
+  {
+    std::ofstream map(map_path_, std::ios::app);
+    map << "newleaf\tduke(25)\nduke\tnewleaf(25)\n";
+  }
+  plain = RunCommand(base + map_path_);
+  incremental = RunCommand(base + "-v --incremental " + state.string() + " " + map_path_);
+  EXPECT_EQ(WEXITSTATUS(incremental.status), 0);
+  EXPECT_NE(incremental.output.find("1 reparsed"), std::string::npos);
+  // Strip the -v stderr tail before comparing stdout content.
+  std::string body = incremental.output.substr(0, incremental.output.find("pathalias:"));
+  EXPECT_EQ(body, plain.output);
+
+  // Unchanged bytes: the state must satisfy the run without reparsing.
+  incremental = RunCommand(base + "-v --incremental " + state.string() + " " + map_path_);
+  EXPECT_NE(incremental.output.find("1 file(s) reused, 0 reparsed"), std::string::npos);
+
+  // Incompatible flags are refused up front.
+  CommandResult refused =
+      RunCommand(base + "--two-label --incremental " + state.string() + " " + map_path_);
+  EXPECT_EQ(WEXITSTATUS(refused.status), 2);
+}
+
+TEST_F(CliTest, RoutedbUpdatePatchesImageInPlace) {
+  // Split map: one file per site so a 1-file edit is a genuine partial reparse.
+  fs::path core = dir_ / "core.map";
+  fs::path mid = dir_ / "mid.map";
+  {
+    std::ofstream out(core);
+    out << "hub\tmid(100), far(400)\nfar\thub(400)\n";
+  }
+  {
+    std::ofstream out(mid);
+    out << "mid\thub(100), leafa(50), leafb(60)\n";
+  }
+  fs::path image = dir_ / "routes.pari";
+  CommandResult init = RunCommand(std::string(ROUTEDB_BIN) + " update --init --local hub " +
+                                  image.string() + " " + core.string() + " " + mid.string());
+  EXPECT_EQ(WEXITSTATUS(init.status), 0) << init.output;
+  ASSERT_TRUE(fs::exists(image));
+  ASSERT_TRUE(fs::exists(dir_ / "routes.pari.state" / "manifest"));
+
+  CommandResult before = RunCommand(std::string(ROUTEDB_BIN) + " get --image " +
+                                    image.string() + " far");
+  EXPECT_EQ(before.output, "far!%s\n");
+
+  // Recost the far link so the route flips through mid... no — cheapen it directly.
+  {
+    std::ofstream out(core, std::ios::trunc);
+    out << "hub\tmid(100), far(150)\nfar\thub(150)\n";
+  }
+  CommandResult update = RunCommand(std::string(ROUTEDB_BIN) + " update " + image.string() +
+                                    " " + core.string());
+  EXPECT_EQ(WEXITSTATUS(update.status), 0) << update.output;
+  EXPECT_NE(update.output.find("patched"), std::string::npos) << update.output;
+
+  // The refrozen image serves the updated cost; batch output matches a fresh
+  // pathalias over the edited inputs.
+  CommandResult plain = RunCommand(std::string(PATHALIAS_BIN) + " -c -l hub " +
+                                   core.string() + " " + mid.string());
+  EXPECT_NE(plain.output.find("150\tfar"), std::string::npos);
+  CommandResult batch = RunCommand("printf 'far\\nleafa\\nnowhere\\n' | " +
+                                   std::string(ROUTEDB_BIN) + " batch --image " +
+                                   image.string());
+  EXPECT_NE(batch.output.find("far\tfar"), std::string::npos);
+  EXPECT_NE(batch.output.find("leafa\tleafa"), std::string::npos);
+  EXPECT_NE(batch.output.find("nowhere\t*miss*"), std::string::npos);
+
+  // Removing a file is an update too.
+  CommandResult removal = RunCommand(std::string(ROUTEDB_BIN) + " update --remove " +
+                                     mid.string() + " " + image.string());
+  EXPECT_EQ(WEXITSTATUS(removal.status), 0) << removal.output;
+  CommandResult gone = RunCommand(std::string(ROUTEDB_BIN) + " get --image " +
+                                  image.string() + " leafa");
+  EXPECT_NE(WEXITSTATUS(gone.status), 0);
+
+  // Without an initialized state dir the update refuses with guidance.
+  CommandResult uninitialized = RunCommand(std::string(ROUTEDB_BIN) + " update " +
+                                           (dir_ / "other.pari").string());
+  EXPECT_NE(WEXITSTATUS(uninitialized.status), 0);
+  EXPECT_NE(uninitialized.output.find("--init"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace pathalias
