@@ -88,6 +88,7 @@ class ArtifactRecorder : public ParseRecorder {
         op.kind != OpKind::kLink) {
       artifact_->plain_links = false;
     }
+    artifact_->kind_mask |= 1u << static_cast<uint8_t>(op.kind);
     artifact_->ops.push_back(op);
   }
 
@@ -354,6 +355,7 @@ std::optional<FileArtifact> DeserializeArtifact(std::string_view bytes) {
         static_cast<uint64_t>(op.member_offset) + op.member_count > member_count) {
       return std::nullopt;
     }
+    artifact.kind_mask |= 1u << static_cast<uint8_t>(op.kind);
     artifact.ops.push_back(op);
   }
   for (uint32_t member : artifact.net_members) {

@@ -245,6 +245,12 @@ UpdateStats MapBuilder::Update(const std::vector<InputFile>& changed,
 
   stats.patched = false;
   stats.rebuild_reason = valid_ ? why : "no valid prior build";
+  // An aborted patch may have counted edits it applied before refusing; the replay
+  // recomputes everything, so the breakdown reports zero in-place work.
+  stats.alias_edits = 0;
+  stats.link_flag_edits = 0;
+  stats.host_state_edits = 0;
+  stats.region_has_aliases = false;
   drop_removed_slots();
   valid_ = FullRebuild();
   stats.routes_changed = dirty_route_ids_.size();
@@ -264,23 +270,48 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
     *why = "default local host changed";
     return false;
   }
+  // Nets and private scoping are the declaration forms the diff still cannot patch:
+  // net membership edges interleave with plain links under replay-order duplicate
+  // resolution AND mint placeholder topology, and private names make NameId-keyed
+  // diffing ambiguous.  Everything else — links, aliases, and the keyword
+  // declarations — diffs below.
+  constexpr uint32_t kUndiffable = (1u << static_cast<uint8_t>(OpKind::kNet)) |
+                                   (1u << static_cast<uint8_t>(OpKind::kPrivate));
   for (size_t i = 0; i < changed_indices.size(); ++i) {
-    if (!old_artifacts[i].plain_links || !artifacts_[changed_indices[i]].plain_links) {
-      *why = "changed file holds non-plain declarations";
+    if (((old_artifacts[i].kind_mask | artifacts_[changed_indices[i]].kind_mask) &
+         kUndiffable) != 0) {
+      *why = "changed file declares a net or private names";
       return false;
     }
   }
 
   // --- declaration diff (all by NameId against the live interner) ---
   //
-  // Declarations are tagged with their file slot: at equal minimum cost the global
-  // winner is the FIRST declaration in file order, so a declaration migrating
-  // between two changed files is a change even when the concatenated values match.
+  // Link-affecting declarations are tagged with their file slot and kept in order:
+  // at equal minimum cost the global winner is the FIRST declaration in file order,
+  // dead {a!b} only latches onto a link already declared, and gateway {net!host}
+  // creates the link at zero cost only when nothing declared it yet — so a
+  // declaration migrating or reordering between changed files is a change even when
+  // the concatenated values match.  Host-state declarations (dead/delete/adjust/
+  // gatewayed/gateway) and alias pairs are order-independent, so those diff as
+  // per-side aggregates.
+  struct PairDecl {
+    uint8_t kind;   // 0 = link declaration, 1 = dead {a!b}, 2 = gateway {net!host}
+    LinkDecl link;  // meaningful for kind 0 only
+    bool operator==(const PairDecl&) const = default;
+  };
   struct DeclList {
-    std::vector<std::pair<uint32_t, LinkDecl>> old_decls;
-    std::vector<std::pair<uint32_t, LinkDecl>> new_decls;
+    std::vector<std::pair<uint32_t, PairDecl>> old_decls;
+    std::vector<std::pair<uint32_t, PairDecl>> new_decls;
+  };
+  struct HostDiff {
+    HostState old_state;
+    HostState new_state;
   };
   std::unordered_map<uint64_t, DeclList> touched;  // pair → this-file declaration lists
+  std::unordered_map<NameId, HostDiff> touched_hosts;
+  std::unordered_map<uint64_t, std::pair<uint32_t, uint32_t>>
+      touched_aliases;  // unordered pair → (old, new) declaration counts
   std::unordered_set<NameId> old_mentions;
   std::unordered_set<NameId> new_mentions;
 
@@ -293,24 +324,66 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
   };
   auto collect = [&](const FileArtifact& artifact, const std::vector<NameId>& ids,
                      uint32_t file_slot, bool old_side) {
+    auto pair_decl = [&](NameId from, NameId to, PairDecl decl) {
+      DeclList& list = touched[PairKey(from, to)];
+      (old_side ? list.old_decls : list.new_decls).emplace_back(file_slot, decl);
+    };
+    auto host_state = [&](NameId id) -> HostState& {
+      HostDiff& diff = touched_hosts[id];
+      return old_side ? diff.old_state : diff.new_state;
+    };
     for (const Op& op : artifact.ops) {
       switch (op.kind) {
         case OpKind::kIntern:
           (old_side ? old_mentions : new_mentions).insert(ids[op.a]);
           break;
-        case OpKind::kLink: {
-          NameId from = ids[op.a];
-          NameId to = ids[op.b];
-          if (from == to) {
-            break;  // self links are rejected at graph level; never part of state
+        case OpKind::kLink:
+          if (ids[op.a] != ids[op.b]) {  // self links are rejected at graph level
+            pair_decl(ids[op.a], ids[op.b],
+                      PairDecl{0, LinkDecl{op.cost, op.op, op.right != 0}});
           }
-          DeclList& list = touched[PairKey(from, to)];
-          (old_side ? list.old_decls : list.new_decls)
-              .emplace_back(file_slot, LinkDecl{op.cost, op.op, op.right != 0});
+          break;
+        case OpKind::kDeadLink:
+          if (ids[op.a] != ids[op.b]) {
+            pair_decl(ids[op.a], ids[op.b], PairDecl{1, LinkDecl{0, kDefaultOp, false}});
+          }
+          break;
+        case OpKind::kGatewayLink: {
+          // gateway {net!host} flags (or creates) the host→net link and marks the
+          // net gatewayed with explicit gateways.
+          NameId net = ids[op.a];
+          NameId gateway = ids[op.b];
+          if (net != gateway) {
+            pair_decl(gateway, net, PairDecl{2, LinkDecl{0, kDefaultOp, false}});
+          }
+          HostState& host = host_state(net);
+          host.gatewayed = true;
+          host.explicit_gateways = true;
+          break;
+        }
+        case OpKind::kDeadHost:
+          host_state(ids[op.a]).dead = true;
+          break;
+        case OpKind::kDelete:
+          host_state(ids[op.a]).deleted = true;
+          break;
+        case OpKind::kAdjust:
+          host_state(ids[op.a]).adjust += op.cost;
+          break;
+        case OpKind::kGatewayed:
+          host_state(ids[op.a]).gatewayed = true;
+          break;
+        case OpKind::kAlias: {
+          NameId a = ids[op.a];
+          NameId b = ids[op.b];
+          if (a != b) {  // self aliases are rejected at graph level
+            auto& counts = touched_aliases[PairKey(std::min(a, b), std::max(a, b))];
+            (old_side ? counts.first : counts.second) += 1;
+          }
           break;
         }
         default:
-          break;  // plain artifacts hold nothing else (kHostDecl has no graph state)
+          break;  // kHostDecl has no graph state; kNet/kPrivate were gated out above
       }
     }
   };
@@ -322,25 +395,53 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
     std::vector<NameId> new_ids = resolve(fresh);
     collect(fresh, new_ids, slot, /*old_side=*/false);
   }
-  // Drop pairs whose per-file declaration sequence is unchanged: their global
-  // winner cannot have moved.
+  // Drop pairs whose per-file declaration sequence is unchanged (their global winner
+  // cannot have moved), hosts whose per-side aggregates match (order-independent
+  // state), and alias pairs declared on both sides (presence is the whole state).
   for (auto it = touched.begin(); it != touched.end();) {
     it = it->second.old_decls == it->second.new_decls ? touched.erase(it) : std::next(it);
+  }
+  for (auto it = touched_hosts.begin(); it != touched_hosts.end();) {
+    it = it->second.old_state == it->second.new_state ? touched_hosts.erase(it)
+                                                      : std::next(it);
+  }
+  for (auto it = touched_aliases.begin(); it != touched_aliases.end();) {
+    it = (it->second.first > 0) == (it->second.second > 0) ? touched_aliases.erase(it)
+                                                           : std::next(it);
   }
 
   // Shadowed (private) names make name-keyed diffing ambiguous — two nodes answer
   // to the same NameId depending on file scope.
+  auto pair_shadowed = [&](uint64_t key) {
+    return graph_->HasShadowedName(static_cast<NameId>(key >> 32)) ||
+           graph_->HasShadowedName(static_cast<NameId>(key & 0xffffffffu));
+  };
   for (const auto& [key, lists] : touched) {
-    NameId from = static_cast<NameId>(key >> 32);
-    NameId to = static_cast<NameId>(key & 0xffffffffu);
-    if (graph_->HasShadowedName(from) || graph_->HasShadowedName(to)) {
+    if (pair_shadowed(key)) {
       *why = "changed link touches a shadowed (private) name";
       return false;
     }
   }
+  for (const auto& [id, diff] : touched_hosts) {
+    if (graph_->HasShadowedName(id)) {
+      *why = "changed declaration touches a shadowed (private) name";
+      return false;
+    }
+  }
+  for (const auto& [key, counts] : touched_aliases) {
+    if (pair_shadowed(key)) {
+      *why = "changed alias touches a shadowed (private) name";
+      return false;
+    }
+  }
 
-  // --- global scan: effective winners for touched pairs, reference counts for
-  // orphan candidates, and cross-references that gate the patch ---
+  // --- global scan: effective winners for touched pairs, effective host states,
+  // alias presence, and reference counts for orphan candidates.  Cross-references
+  // that used to gate the patch (dead/gateway/net declarations elsewhere touching a
+  // changed pair) are folded into the winner state machines instead: the scan walks
+  // every artifact in file order, so ordering-sensitive semantics (dead only
+  // latches a declared link, gateway creates one only when absent, cheapest-first-
+  // at-min wins) reproduce replay exactly. ---
   std::unordered_set<NameId> orphan_candidates;
   for (NameId id : old_mentions) {
     if (!new_mentions.contains(id)) {
@@ -352,6 +453,12 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
   for (const auto& [key, lists] : touched) {
     winners.emplace(key, PairState{});
   }
+  std::unordered_map<NameId, HostState> host_winners;
+  host_winners.reserve(touched_hosts.size());
+  for (const auto& [id, diff] : touched_hosts) {
+    host_winners.emplace(id, HostState{});
+  }
+  std::unordered_set<uint64_t> alias_present;  // touched alias pairs declared anywhere
   std::unordered_set<NameId> still_referenced;
   const size_t artifact_count = artifacts_.size();
   for (size_t index = 0; index < artifact_count; ++index) {
@@ -360,6 +467,28 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
       continue;
     }
     const std::vector<NameId>& ids = SymbolIds(index);
+    auto link_candidate = [&](NameId from, NameId to, Cost cost, char op_char, bool right,
+                              bool net_member) {
+      auto it = winners.find(PairKey(from, to));
+      if (it == winners.end()) {
+        return;
+      }
+      if (cost < 0) {
+        cost = 0;  // AddLink clamps; the winner must too
+      }
+      PairState& state = it->second;
+      if (!state.present || cost < state.winner.cost) {
+        state.present = true;
+        state.winner = LinkDecl{cost, op_char, right};
+      }
+      if (net_member) {
+        state.net_member = true;  // flags accrete even on a losing duplicate
+      }
+    };
+    auto touched_host = [&](NameId id) -> HostState* {
+      auto it = host_winners.find(id);
+      return it == host_winners.end() ? nullptr : &it->second;
+    };
     for (const Op& op : artifact.ops) {
       switch (op.kind) {
         case OpKind::kIntern:
@@ -368,52 +497,95 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
             still_referenced.insert(ids[op.a]);
           }
           break;
-        case OpKind::kLink: {
+        case OpKind::kLink:
+          link_candidate(ids[op.a], ids[op.b], op.cost, op.op, op.right != 0,
+                         /*net_member=*/false);
+          break;
+        case OpKind::kDeadLink: {
+          // dead {a!b} latches onto the a→b link only if something declared it
+          // before this point (MarkDeadLink warns and ignores otherwise).
           auto it = winners.find(PairKey(ids[op.a], ids[op.b]));
-          if (it == winners.end()) {
-            break;
-          }
-          Cost cost = op.cost < 0 ? 0 : op.cost;  // AddLink clamps; the winner must too
-          PairState& state = it->second;
-          if (!state.present || cost < state.winner.cost) {
-            state.present = true;
-            state.winner = LinkDecl{cost, op.op, op.right != 0};
+          if (it != winners.end() && it->second.present) {
+            it->second.dead = true;
           }
           break;
         }
-        case OpKind::kDeadLink:
         case OpKind::kGatewayLink: {
-          // gateway {net!host} flags (or creates) the host→net link; dead {a!b}
-          // flags a→b.  Either one referencing a touched pair means the patched
-          // link would need flag reconstruction — replay instead.
-          NameId from = op.kind == OpKind::kDeadLink ? ids[op.a] : ids[op.b];
-          NameId to = op.kind == OpKind::kDeadLink ? ids[op.b] : ids[op.a];
-          if (winners.contains(PairKey(from, to))) {
-            *why = "changed link is referenced by a dead/gateway declaration";
-            return false;
+          // gateway {net!host} flags the host→net link, creating it at zero cost if
+          // nothing declared it yet, and marks the net gatewayed with explicit
+          // gateways.
+          NameId net = ids[op.a];
+          NameId gateway = ids[op.b];
+          if (net != gateway) {
+            auto it = winners.find(PairKey(gateway, net));
+            if (it != winners.end()) {
+              PairState& state = it->second;
+              if (!state.present) {
+                state.present = true;
+                state.winner = LinkDecl{0, kDefaultOp, false};
+              }
+              state.gateway = true;
+            }
+          }
+          if (HostState* host = touched_host(net)) {
+            host->gatewayed = true;
+            host->explicit_gateways = true;
           }
           break;
         }
-        case OpKind::kNet:
+        case OpKind::kDeadHost:
+          if (HostState* host = touched_host(ids[op.a])) {
+            host->dead = true;
+          }
+          break;
+        case OpKind::kDelete:
+          if (HostState* host = touched_host(ids[op.a])) {
+            host->deleted = true;
+          }
+          break;
+        case OpKind::kAdjust:
+          if (HostState* host = touched_host(ids[op.a])) {
+            host->adjust += op.cost;
+          }
+          break;
+        case OpKind::kGatewayed:
+          if (HostState* host = touched_host(ids[op.a])) {
+            host->gatewayed = true;
+          }
+          break;
+        case OpKind::kAlias:
+          if (ids[op.a] != ids[op.b]) {
+            uint64_t key = PairKey(std::min(ids[op.a], ids[op.b]),
+                                   std::max(ids[op.a], ids[op.b]));
+            if (touched_aliases.contains(key)) {
+              alias_present.insert(key);
+            }
+          }
+          break;
+        case OpKind::kNet: {
+          // A net declaration's generated edges (member→net at cost, net→member at
+          // zero with the net-member flag) take part in duplicate resolution like
+          // any plain link, so they feed the winner machine for touched pairs.
+          NameId net = ids[op.a];
           for (uint32_t m = 0; m < op.member_count; ++m) {
             NameId member = ids[artifact.net_members[op.member_offset + m]];
-            NameId net = ids[op.a];
-            if (winners.contains(PairKey(member, net)) ||
-                winners.contains(PairKey(net, member))) {
-              *why = "changed link coincides with a network membership edge";
-              return false;
+            if (member != net) {
+              link_candidate(member, net, op.cost, op.op, op.right != 0,
+                             /*net_member=*/false);
+              link_candidate(net, member, 0, op.op, op.right != 0, /*net_member=*/true);
             }
             if (orphan_candidates.contains(member)) {
               still_referenced.insert(member);
             }
           }
-          if (orphan_candidates.contains(ids[op.a])) {
-            still_referenced.insert(ids[op.a]);
+          if (orphan_candidates.contains(net)) {
+            still_referenced.insert(net);
           }
           break;
+        }
         default:
-          // Remaining keyword declarations always follow a kIntern for the same
-          // name in the same artifact, so the mention accounting above covers them.
+          // kHostDecl follows a kIntern for the same name in the same artifact, so
+          // the mention accounting above covers it.
           break;
       }
     }
@@ -449,28 +621,50 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
     }
     return node;
   };
+  // Hash-map iteration orders node creation; sort the keys so new-node creation
+  // order (and with it every order-keyed structure) is reproducible run to run.
+  auto sorted_keys = [](const auto& map) {
+    std::vector<typename std::decay_t<decltype(map)>::key_type> keys;
+    keys.reserve(map.size());
+    for (const auto& [key, value] : map) {
+      keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
 
-  for (const auto& [key, state] : winners) {
+  constexpr uint32_t kLinkDeclFlags = kLinkDead | kLinkGateway | kLinkNetMember;
+  for (uint64_t key : sorted_keys(winners)) {
+    const PairState& state = winners[key];
     NameId from_id = static_cast<NameId>(key >> 32);
     NameId to_id = static_cast<NameId>(key & 0xffffffffu);
     Node* from = intern_node(from_id);
     Node* to = intern_node(to_id);
     Link* existing = graph_->FindLink(from, to);
+    uint32_t decl_flags = (state.dead ? kLinkDead : 0u) |
+                          (state.gateway ? kLinkGateway : 0u) |
+                          (state.net_member ? kLinkNetMember : 0u);
     bool changed_state;
+    bool flags_changed = false;
     if (!state.present) {
       changed_state = graph_->RemoveLink(from, to);
     } else if (existing == nullptr) {
-      changed_state =
-          graph_->SetLinkState(from, to, state.winner.cost, state.winner.op,
-                               state.winner.right) != nullptr;
+      changed_state = graph_->SetLinkState(from, to, state.winner.cost, state.winner.op,
+                                           state.winner.right, decl_flags) != nullptr;
+      flags_changed = decl_flags != 0;
     } else {
+      flags_changed = (existing->flags & kLinkDeclFlags) != decl_flags;
       changed_state = existing->cost != state.winner.cost || existing->op != state.winner.op ||
-                      existing->right_syntax() != state.winner.right;
+                      existing->right_syntax() != state.winner.right || flags_changed;
       if (changed_state) {
-        graph_->SetLinkState(from, to, state.winner.cost, state.winner.op, state.winner.right);
+        graph_->SetLinkState(from, to, state.winner.cost, state.winner.op, state.winner.right,
+                             decl_flags);
       }
     }
     if (changed_state) {
+      if (flags_changed) {
+        ++stats->link_flag_edits;
+      }
       // A link INTO the local host never participates in a route: no candidate can
       // beat the root label's cost 0, so the edit is output-invisible and seeding
       // the root (which the mapper rightly refuses) would force a pointless rebuild.
@@ -485,6 +679,58 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
       }
     }
   }
+
+  constexpr uint32_t kHostDeclFlags =
+      kNodeTerminal | kNodeDeleted | kNodeGatewayed | kNodeExplicitGateways;
+  for (NameId id : sorted_keys(host_winners)) {
+    const HostState& state = host_winners[id];
+    Node* node = intern_node(id);
+    if (node == graph_->local() && state.deleted) {
+      *why = "local host deleted";
+      return false;
+    }
+    // Domains are born gatewayed (CreateNode/ReviveNode), independent of decls.
+    uint32_t flags = (state.dead ? kNodeTerminal : 0u) | (state.deleted ? kNodeDeleted : 0u) |
+                     ((state.gatewayed || node->domain()) ? kNodeGatewayed : 0u) |
+                     (state.explicit_gateways ? kNodeExplicitGateways : 0u);
+    if ((node->flags & kHostDeclFlags) == flags && node->adjust == state.adjust) {
+      continue;
+    }
+    graph_->SetHostState(node, flags, state.adjust);
+    ++stats->host_state_edits;
+    // Terminal/adjust/gatewayed state on the local host never alters a route
+    // (CostOf skips the local side of every such check), so it applies seedlessly;
+    // a deleted local bailed above.
+    if (node != graph_->local()) {
+      seed(node);
+    }
+  }
+
+  for (uint64_t key : sorted_keys(touched_aliases)) {
+    NameId a_id = static_cast<NameId>(key >> 32);
+    NameId b_id = static_cast<NameId>(key & 0xffffffffu);
+    bool want = alias_present.contains(key);
+    Node* a = intern_node(a_id);
+    Node* b = intern_node(b_id);
+    if (want == (graph_->FindAlias(a, b) != nullptr)) {
+      continue;
+    }
+    if (want) {
+      graph_->AddAlias(a, b, SourcePos{});
+    } else {
+      graph_->RemoveAlias(a, b);
+    }
+    ++stats->alias_edits;
+    // Each endpoint gains or loses an in-edge; an alias edge into the local host is
+    // output-invisible (nothing beats the root label at zero cost and zero hops).
+    if (a != graph_->local()) {
+      seed(a);
+    }
+    if (b != graph_->local()) {
+      seed(b);
+    }
+  }
+
   for (NameId id : orphans) {
     if (Node* node = graph_->Find(id)) {
       if (node == graph_->local()) {
@@ -509,10 +755,22 @@ bool MapBuilder::TryPatch(const std::vector<size_t>& changed_indices,
             [](const Node* a, const Node* b) { return a->order < b->order; });
 
   Mapper mapper(graph_.get(), IncrementalMapOptions());
-  std::optional<std::vector<Node*>> dirty = mapper.Patch(map_, seeds);
+  std::string patch_why;
+  std::optional<std::vector<Node*>> dirty = mapper.Patch(map_, seeds, &patch_why);
   if (!dirty.has_value()) {
-    *why = "mapper patch refused (aliases, back links, or unreachable hosts)";
+    *why = "mapper patch refused: " + patch_why;
     return false;
+  }
+  for (Node* node : *dirty) {
+    if (stats->region_has_aliases) {
+      break;
+    }
+    for (Link* link = node->links; link != nullptr; link = link->next) {
+      if (link->alias()) {
+        stats->region_has_aliases = true;
+        break;
+      }
+    }
   }
 
   // --- emit the dirty region's routes ---

@@ -8,12 +8,17 @@
 // sound route available:
 //
 //   1. digest check — files whose bytes didn't change are not even re-lexed;
-//   2. in-place patch — when every changed file holds only plain host/link
-//      declarations (and the gates below hold), the artifact diff yields the touched
-//      (from, to) pairs and orphaned/new names; the live graph is patched
-//      (add/remove/recost links, retire/revive nodes), Mapper::Patch recomputes just
-//      the affected region, RoutePrinter::BuildEntryFor regenerates just the dirty
-//      routes, and RouteSet::ApplyDelta swaps them in;
+//   2. in-place patch — when every changed file holds diffable declarations (hosts,
+//      links, aliases, and the dead/delete/adjust/gatewayed/gateway keywords — nets
+//      and private scoping are the remaining exceptions) and the gates below hold,
+//      the artifact diff yields the touched (from, to) pairs, host states, alias
+//      pairs, and orphaned/new names; effective winners (costs, dead/gateway/
+//      net-member link flags, terminal/deleted/gatewayed host flags, adjust sums)
+//      are recomputed across all files; the live graph is patched (links added,
+//      removed, recosted, reflagged; alias edges added/removed; host state set;
+//      nodes retired/revived), Mapper::Patch recomputes just the affected region,
+//      RoutePrinter::BuildEntryFor regenerates just the dirty routes, and
+//      RouteSet::ApplyDelta swaps them in;
 //   3. replay rebuild — otherwise the retained artifacts replay into a fresh graph
 //      (skipping the lexer for every unchanged file) and the map/emit phases run in
 //      full; the resulting entries still land through ApplyDelta, so route-set
@@ -65,6 +70,14 @@ struct UpdateStats {
   size_t files_unchanged = 0;   // digest match among the files offered
   size_t dirty_nodes = 0;       // mapper region size (patched only)
   size_t routes_changed = 0;    // routes actually replaced/erased
+  // Non-plain work the in-place patch absorbed (all zero on a replay rebuild, and
+  // on updates that only touched plain host/link declarations):
+  size_t alias_edits = 0;       // alias edge pairs added to / removed from the live graph
+  size_t link_flag_edits = 0;   // dead/gateway/net-member link-flag changes applied
+  size_t host_state_edits = 0;  // terminal/deleted/gatewayed/adjust host changes applied
+  // The re-mapped dirty region contained alias edges — the patch path ran where the
+  // old alias gate would have forced a replay (patched only).
+  bool region_has_aliases = false;
 };
 
 class MapBuilder {
@@ -112,9 +125,23 @@ class MapBuilder {
     bool right;
     bool operator==(const LinkDecl&) const = default;
   };
-  struct PairState {  // the effective (post duplicate-resolution) link, or absent
+  // The effective (post duplicate-resolution, post keyword-declaration) link state
+  // for a touched pair: absent, or a winner plus the declaration-derived flags.
+  struct PairState {
     bool present = false;
     LinkDecl winner{0, kDefaultOp, false};
+    bool dead = false;        // a dead {a!b} found the link declared
+    bool gateway = false;     // a gateway {net!host} sanctioned (or created) it
+    bool net_member = false;  // a net declaration generated it (net → member)
+  };
+  // The effective declaration-derived state of a touched host.
+  struct HostState {
+    bool dead = false;           // dead {a}: terminal
+    bool deleted = false;        // delete {a}
+    bool gatewayed = false;      // gatewayed {a} or gateway {a!...}
+    bool explicit_gateways = false;  // gateway {a!...}
+    Cost adjust = 0;             // adjust {a(n)} sum
+    bool operator==(const HostState&) const = default;
   };
 
   // Replays artifacts_ into a fresh graph, maps, emits, and diffs into routes_.

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
 
 namespace pathalias {
@@ -68,7 +69,7 @@ bool SaveStateDir(const std::string& dir, const StateDirContents& contents) {
   // Payloads are content-addressed and written via temp+rename, so a save torn at
   // ANY point leaves the previous manifest's payload set intact and readable; the
   // manifest rename below is the single commit point.
-  std::vector<std::string> referenced;
+  std::unordered_set<std::string> referenced;
   std::string manifest;
   manifest += "pathalias-state " + std::to_string(kManifestVersion) + "\n";
   manifest += "local\t" + contents.local + "\n";
@@ -86,7 +87,7 @@ bool SaveStateDir(const std::string& dir, const StateDirContents& contents) {
     }
     manifest += std::to_string(artifact.digest) + "\t" + file_name + "\t" +
                 artifact.file_name + "\n";
-    referenced.push_back(std::move(file_name));
+    referenced.insert(std::move(file_name));
   }
   if (!WriteFileAtomically(fs::path(dir) / "manifest", manifest)) {
     return false;
@@ -96,8 +97,7 @@ bool SaveStateDir(const std::string& dir, const StateDirContents& contents) {
   for (const fs::directory_entry& entry :
        fs::directory_iterator(fs::path(dir) / "artifacts", ec)) {
     std::string name = entry.path().filename().string();
-    if (name.ends_with(".pai") &&
-        std::find(referenced.begin(), referenced.end(), name) == referenced.end()) {
+    if (name.ends_with(".pai") && !referenced.contains(name)) {
       fs::remove(entry.path(), ec);
     }
   }

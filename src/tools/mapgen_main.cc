@@ -5,10 +5,12 @@
 //   --seed N  RNG seed (default 1986)
 //   --dir D   write one site file per input file into D; default prints to stdout
 
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 
 #include "src/mapgen/mapgen.h"
 
@@ -22,7 +24,16 @@ int main(int argc, char** argv) {
       config = pathalias::MapGenConfig::Small();
       config.seed = seed;
     } else if (arg == "--seed" && i + 1 < argc) {
-      config.seed = std::stoull(argv[++i]);
+      // std::stoull would throw (an uncaught crash) on junk and silently accept
+      // trailing garbage; parse strictly and name the flag like the other tools.
+      std::string_view text = argv[++i];
+      auto [end, errc] =
+          std::from_chars(text.data(), text.data() + text.size(), config.seed);
+      if (errc != std::errc{} || end != text.data() + text.size() || text.empty()) {
+        std::cerr << "mapgen: --seed needs an unsigned 64-bit integer, got '" << text
+                  << "'\n";
+        return 2;
+      }
     } else if (arg == "--dir" && i + 1 < argc) {
       dir = argv[++i];
     } else {

@@ -16,11 +16,16 @@
 //                                               parse the map, freeze the image, and
 //                                               record per-file parse artifacts in
 //                                               <routes.pari>.state for later updates
-//   routedb update [--remove FILE]... <routes.pari> [changed-map-files...]
+//   routedb update [--remove FILE]... [--stats] <routes.pari> [changed-map-files...]
 //                                               re-parse only the named (changed)
 //                                               files, patch the retained pipeline
 //                                               state, rewrite the image atomically,
-//                                               and report patch vs rebuild
+//                                               and report patch vs rebuild; with no
+//                                               changed files at all, report
+//                                               "nothing to do" and leave image and
+//                                               state untouched.  --stats adds a
+//                                               breakdown (rebuild_reason, alias/
+//                                               flag/host-state edit counts)
 //   routedb batch [--image] [--threads N] [--cache-entries M] [--stats] <db>
 //                 [hosts.txt]                   bulk host lookup, one per line (stdin
 //                                               if no file): "host<TAB>route-key" per
@@ -56,7 +61,7 @@ int Usage() {
   std::cerr << "usage: routedb build <routes.txt> <routes.cdb>\n"
                "       routedb freeze <routes.txt> <routes.pari>\n"
                "       routedb update --init [--local NAME] <routes.pari> <map-files...>\n"
-               "       routedb update [--remove FILE]... <routes.pari> "
+               "       routedb update [--remove FILE]... [--stats] <routes.pari> "
                "[changed-map-files...]\n"
                "       routedb get [--image] <db> <host>\n"
                "       routedb resolve [--image] <db> <address>...\n"
@@ -233,6 +238,7 @@ int RunQueryCommand(const std::string& command, const RouteSourceT& routes,
 // builders (see the incremental_update benchmark), not this CLI.
 int RunUpdate(int argc, char** argv) {
   bool init = false;
+  bool stats_requested = false;
   std::string local;
   std::vector<std::string> removed;
   std::vector<const char*> positional;
@@ -240,6 +246,8 @@ int RunUpdate(int argc, char** argv) {
     std::string_view arg = argv[i];
     if (arg == "--init") {
       init = true;
+    } else if (arg == "--stats") {
+      stats_requested = true;
     } else if (arg == "--local") {
       if (i + 1 >= argc) {
         return Usage();
@@ -259,6 +267,12 @@ int RunUpdate(int argc, char** argv) {
   }
   if (positional.empty() || (init && positional.size() < 2)) {
     return Usage();
+  }
+  if (init && stats_requested) {
+    // There is no patch/rebuild decision on the init path, so a silent no-op
+    // --stats would mislead scripted callers expecting the breakdown line.
+    std::cerr << "routedb: --stats does not apply to update --init\n";
+    return 2;
   }
   std::string image_path = positional.front();
   std::string state_dir = image_path + ".state";
@@ -291,6 +305,22 @@ int RunUpdate(int argc, char** argv) {
       std::cerr << "routedb: state was built with local '" << state->local
                 << "'; re-run --init to change it\n";
       return 1;
+    }
+    if (files.empty() && removed.empty()) {
+      // Nothing to apply: leave the image and the state directory byte-for-byte
+      // (and mtime-for-mtime) alone instead of rebuilding, refreezing, and
+      // rewriting the manifest for a no-op.  (Flag validation above still runs —
+      // a conflicting --local must not be swallowed by the fast path.)
+      std::cerr << "routedb: nothing to do (no changed files); " << image_path
+                << " left untouched\n";
+      if (stats_requested) {
+        // Keep the scripted contract: --stats always emits the breakdown line,
+        // here the trivial all-zero patch.
+        std::cerr << "routedb: update stats: patched=1 rebuilt=0 rebuild_reason=\"\" "
+                     "alias_edits=0 link_flag_edits=0 host_state_edits=0 "
+                     "region_has_aliases=0\n";
+      }
+      return 0;
     }
     builder_options.local = state->local;
     builder_options.ignore_case = state->ignore_case;
@@ -331,6 +361,16 @@ int RunUpdate(int argc, char** argv) {
     }
     std::cerr << "); " << stats.routes_changed << " route(s) changed, "
               << builder.routes().size() << " total\n";
+    if (stats_requested) {
+      // Opt-in breakdown of what the patch absorbed (or why it could not), keyed
+      // the same way UpdateStats::rebuild_reason is counted in CI and benchmarks.
+      std::cerr << "routedb: update stats: patched=" << (stats.patched ? 1 : 0)
+                << " rebuilt=" << (stats.patched ? 0 : 1) << " rebuild_reason=\""
+                << stats.rebuild_reason << "\" alias_edits=" << stats.alias_edits
+                << " link_flag_edits=" << stats.link_flag_edits
+                << " host_state_edits=" << stats.host_state_edits
+                << " region_has_aliases=" << (stats.region_has_aliases ? 1 : 0) << "\n";
+    }
     // The image and state were written (a bad line skips one declaration, pathalias
     // style), but an automated updater must see that the inputs were not clean.
     if (builder.diag().error_count() > 0) {

@@ -2,13 +2,16 @@
 //
 // A seeded model of a multi-file map absorbs a few hundred random edits — recosts,
 // host adds/removes/renames, link adds/removes, duplicate declarations, whole-file
-// adds/removes, and occasional non-plain declarations (aliases, dead marks) that
-// force the replay-rebuild path.  After EVERY edit the MapBuilder's route set must
-// be byte-identical (canonical name-sorted form) to a from-scratch pipeline over the
-// edited inputs; periodically the refrozen .pari image and the sharded batch engine
-// (serial and --threads) are held to the same standard.  Both the patch path and
-// the fallback path must be exercised, or the test fails: silent fallback-to-rebuild
-// would make the equivalence vacuous.
+// adds/removes, non-plain declarations the patch path must now absorb IN PLACE
+// (aliases, dead hosts/links, adjust biases, gatewayed nets with gateways), and
+// occasional net/private declarations that still force the replay-rebuild path.
+// After EVERY edit the MapBuilder's route set must be byte-identical (canonical
+// name-sorted form) to a from-scratch pipeline over the edited inputs; periodically
+// the refrozen .pari image and the sharded batch engine (serial and --threads) are
+// held to the same standard.  Three path-coverage assertions keep the property
+// non-vacuous: the patch path, the fallback path, AND patched updates that applied
+// alias/dead/gateway/adjust edits (if those all silently fell back, the lifted
+// gates would be untested).
 
 #include <gtest/gtest.h>
 
@@ -173,6 +176,7 @@ TEST_P(IncrementalFuzz, EveryEditStaysGoldenAcrossBackends) {
 
   size_t patched_updates = 0;
   size_t rebuild_updates = 0;
+  size_t patched_alias_updates = 0;  // patched updates that applied non-plain edits
   constexpr int kSteps = 140;
   for (int step = 0; step < kSteps; ++step) {
     std::vector<std::string> changed_names;  // model files to re-render
@@ -328,10 +332,11 @@ TEST_P(IncrementalFuzz, EveryEditStaysGoldenAcrossBackends) {
         touch(file);
         break;
       }
-      case 8: {  // non-plain declaration in, or out (exercises the fallback path)
-        // Remove-first keeps alias episodes short: while an alias link exists in the
-        // graph, EVERY update must rebuild, and an unbounded episode would starve
-        // the patch path out of the test.
+      case 8: {  // non-plain declaration in, or out
+        // Aliases, dead hosts/links, adjust biases, and gatewayed nets now take the
+        // patch path; net and private declarations still force a replay.  Remove-
+        // first keeps the replay-forcing episodes short (while a net/private decl
+        // sits in the map, related edits rebuild) so neither path starves.
         FileModel* holder = nullptr;
         for (FileModel& file : model.files) {
           if (!file.extra_lines.empty()) {
@@ -344,15 +349,42 @@ TEST_P(IncrementalFuzz, EveryEditStaysGoldenAcrossBackends) {
           touch(*holder);
         } else {
           std::vector<std::string> names = model.AllHostNames();
-          if (names.empty()) {
+          if (names.size() < 2) {
             break;
           }
           FileModel& file = random_file();
           const std::string& subject = names[rng.Below(names.size())];
-          if (rng.Below(2) == 0) {
-            file.extra_lines.push_back(subject + " = nick" + std::to_string(step));
-          } else {
-            file.extra_lines.push_back("dead {" + subject + "}");
+          const std::string& other = names[rng.Below(names.size())];
+          switch (rng.Below(7)) {
+            case 0:
+              file.extra_lines.push_back(subject + " = nick" + std::to_string(step));
+              break;
+            case 1:
+              file.extra_lines.push_back("dead {" + subject + "}");
+              break;
+            case 2:
+              if (subject != other) {
+                file.extra_lines.push_back("dead {" + subject + "!" + other + "}");
+              }
+              break;
+            case 3:
+              file.extra_lines.push_back("adjust {" + subject + "(" +
+                                         std::to_string(5 + rng.Below(200)) + ")}");
+              break;
+            case 4:
+              file.extra_lines.push_back("gatewayed {" + subject + "}\ngateway {" +
+                                         subject + "!" + other + "}");
+              break;
+            case 5:  // net declarations still force the replay path
+              if (subject != other) {
+                file.extra_lines.push_back("fuzznet" + std::to_string(step) + " = {" +
+                                           subject + ", " + other + "}(" +
+                                           std::to_string(20 + rng.Below(200)) + ")");
+              }
+              break;
+            default:  // private scoping still forces the replay path
+              file.extra_lines.push_back("private {" + subject + "}");
+              break;
           }
           touch(file);
         }
@@ -447,6 +479,10 @@ TEST_P(IncrementalFuzz, EveryEditStaysGoldenAcrossBackends) {
     }
     UpdateStats stats = builder.Update(changed, removed_names);
     (stats.patched ? patched_updates : rebuild_updates) += 1;
+    if (stats.patched && (stats.alias_edits > 0 || stats.link_flag_edits > 0 ||
+                          stats.host_state_edits > 0 || stats.region_has_aliases)) {
+      ++patched_alias_updates;
+    }
 
     std::vector<InputFile> rendered = model.RenderAll();
     ASSERT_EQ(builder.routes().ToSortedText(true), ReferenceSortedRoutes(rendered, local))
@@ -480,10 +516,13 @@ TEST_P(IncrementalFuzz, EveryEditStaysGoldenAcrossBackends) {
     }
   }
 
-  // The property is vacuous if one of the paths never ran.
+  // The property is vacuous if one of the paths never ran — and the lifted gates
+  // are untested if every alias/dead/gateway/adjust edit silently fell back.
   EXPECT_GT(patched_updates, static_cast<size_t>(kSteps / 4))
       << "patch path barely exercised";
   EXPECT_GT(rebuild_updates, 0u) << "fallback path never exercised";
+  EXPECT_GT(patched_alias_updates, 0u)
+      << "no alias/dead/gateway/adjust edit took the patch path";
   fs::remove(image_path);
 }
 

@@ -273,22 +273,182 @@ TEST_F(MapBuilderPatchTest, RenameHostPatches) {
   ExpectGolden(builder, files);
 }
 
-TEST_F(MapBuilderPatchTest, NonPlainChangedFileFallsBackAndStaysGolden) {
+TEST_F(MapBuilderPatchTest, AliasEditsPatchInPlace) {
   MapBuilder builder(MapBuilderOptions{.local = "hub"});
   std::vector<InputFile> files = Files(400);
   ASSERT_TRUE(builder.Build(files));
 
+  // Adding an alias is an in-place patch: the nickname's route appears without a
+  // replay, and the alias edge count surfaces in the stats.
   files[2].content = "far\thub(400), leafc(10)\nleafc\tfar(10)\nfar = faraway\n";
   UpdateStats stats = builder.Update({files[2]});
-  EXPECT_FALSE(stats.patched);
-  EXPECT_FALSE(stats.rebuild_reason.empty());
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_EQ(stats.alias_edits, 1u);
+  EXPECT_TRUE(stats.region_has_aliases);
+  ASSERT_NE(builder.routes().Find("faraway"), nullptr);
+  EXPECT_EQ(builder.routes().Find("faraway")->route, builder.routes().Find("far")->route);
   ExpectGolden(builder, files);
 
-  // With an alias now in the graph, even a plain edit must refuse to patch (the
-  // mapper's exactness gate) — and still land on the golden output.
+  // A plain edit with the alias still in the graph also patches (the old blanket
+  // alias gate) ...
   files[0].content = "hub\tmid(100), far(350)\n";
   stats = builder.Update({files[0]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+
+  // ... and removing the alias patches the nickname's route away again.
+  files[2].content = "far\thub(400), leafc(10)\nleafc\tfar(10)\n";
+  stats = builder.Update({files[2]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_EQ(stats.alias_edits, 1u);
+  EXPECT_EQ(builder.routes().Find("faraway"), nullptr);
+  ExpectGolden(builder, files);
+}
+
+TEST_F(MapBuilderPatchTest, KeywordDeclarationEditsPatchInPlace) {
+  MapBuilder builder(MapBuilderOptions{.local = "hub"});
+  std::vector<InputFile> files = Files(400);
+  ASSERT_TRUE(builder.Build(files));
+
+  // dead {hub!far} penalizes the direct link; far re-routes through mid.
+  files[2].content = "far\thub(400), leafc(10)\nleafc\tfar(10)\ndead {hub!far}\n";
+  UpdateStats stats = builder.Update({files[2]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_GT(stats.link_flag_edits, 0u);
+  ExpectGolden(builder, files);
+
+  // dead {mid} (terminal host) penalizes relaying through mid.
+  files[1].content = "mid\thub(100), leafa(50), leafb(60)\ndead {mid}\n";
+  stats = builder.Update({files[1]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_GT(stats.host_state_edits, 0u);
+  ExpectGolden(builder, files);
+
+  // adjust {far(75)} biases every path through far.
+  files[2].content = "far\thub(400), leafc(10)\nleafc\tfar(10)\nadjust {far(75)}\n";
+  stats = builder.Update({files[2]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+
+  // gatewayed {far} + gateway {far!hub}: entry anywhere but hub's link costs extra.
+  files[2].content =
+      "far\thub(400), leafc(10)\nleafc\tfar(10)\ngatewayed {far}\ngateway {far!hub}\n";
+  stats = builder.Update({files[2]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+
+  // delete {leafb} removes its route; undeleting restores it.  Both patch.
+  files[1].content = "mid\thub(100), leafa(50), leafb(60)\ndelete {leafb}\n";
+  stats = builder.Update({files[1]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_EQ(builder.routes().Find("leafb"), nullptr);
+  ExpectGolden(builder, files);
+  files[1].content = "mid\thub(100), leafa(50), leafb(60)\n";
+  stats = builder.Update({files[1]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_NE(builder.routes().Find("leafb"), nullptr);
+  ExpectGolden(builder, files);
+}
+
+TEST_F(MapBuilderPatchTest, CrossReferencedEditsWidenTheSeedSetInsteadOfRefusing) {
+  // A dead {hub!far} declaration lives in a file that never changes; editing the
+  // referenced link's cost in ANOTHER file used to force a replay ("changed link is
+  // referenced by a dead/gateway declaration") and now recomputes the effective
+  // state — cheaper cost, dead flag preserved — in place.
+  std::vector<InputFile> files = Files(400);
+  files.push_back({"marks.map", "dead {hub!far}\n"});
+  MapBuilder builder(MapBuilderOptions{.local = "hub"});
+  ASSERT_TRUE(builder.Build(files));
+
+  files[0].content = "hub\tmid(100), far(250)\n";
+  UpdateStats stats = builder.Update({files[0]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+}
+
+TEST_F(MapBuilderPatchTest, NetMembershipCoincidenceComputesTheCombinedWinner) {
+  // wan = {mid, far}(80) declares member→net and net→member edges that take part
+  // in duplicate resolution with plain links.  A plain edit on the coinciding
+  // (mid, wan) pair used to force a replay and now recomputes the winner across
+  // both declaration kinds.
+  std::vector<InputFile> files = Files(400);
+  files.push_back({"nets.map", "wan = {mid, far}(80)\n"});
+  files.push_back({"extra.map", "mid\twan(200)\n"});  // loses to the net's 80
+  MapBuilder builder(MapBuilderOptions{.local = "hub"});
+  ASSERT_TRUE(builder.Build(files));
+
+  files.back().content = "mid\twan(40)\n";  // now beats the net's 80
+  UpdateStats stats = builder.Update({files.back()});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+
+  files.back().content = "mid\twan(120)\n";  // back under the net's winner
+  stats = builder.Update({files.back()});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+}
+
+TEST_F(MapBuilderPatchTest, NetAndPrivateChangedFilesStillFallBack) {
+  MapBuilder builder(MapBuilderOptions{.local = "hub"});
+  std::vector<InputFile> files = Files(400);
+  ASSERT_TRUE(builder.Build(files));
+
+  files[2].content = "far\thub(400), leafc(10)\nleafc\tfar(10)\nlan = {far, leafc}(30)\n";
+  UpdateStats stats = builder.Update({files[2]});
   EXPECT_FALSE(stats.patched);
+  EXPECT_NE(stats.rebuild_reason.find("net or private"), std::string::npos)
+      << stats.rebuild_reason;
+  ExpectGolden(builder, files);
+
+  files[1].content = "mid\thub(100), leafa(50), leafb(60)\nprivate {leafa}\n";
+  stats = builder.Update({files[1]});
+  EXPECT_FALSE(stats.patched);
+  ExpectGolden(builder, files);
+}
+
+TEST_F(MapBuilderPatchTest, AliasChainsPatchAndSurviveUnrelatedEdits) {
+  MapBuilder builder(MapBuilderOptions{.local = "hub"});
+  std::vector<InputFile> files = Files(400);
+  ASSERT_TRUE(builder.Build(files));
+
+  // A two-deep nickname chain lands in one patch; both nicknames route like far.
+  files[2].content =
+      "far\thub(400), leafc(10)\nleafc\tfar(10)\nfar = faraway\nfaraway = farther\n";
+  UpdateStats stats = builder.Update({files[2]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_EQ(stats.alias_edits, 2u);
+  ASSERT_NE(builder.routes().Find("farther"), nullptr);
+  EXPECT_EQ(builder.routes().Find("farther")->route, builder.routes().Find("far")->route);
+  ExpectGolden(builder, files);
+
+  // A plain recost in ANOTHER file, with the chain untouched in the graph and the
+  // changed-file diff side empty of alias edits, still patches — the chain re-maps
+  // inside the dirty region.
+  files[0].content = "hub\tmid(100), far(120)\n";
+  stats = builder.Update({files[0]});
+  EXPECT_TRUE(stats.patched) << stats.rebuild_reason;
+  EXPECT_EQ(stats.alias_edits, 0u);
+  EXPECT_TRUE(stats.region_has_aliases);
+  ExpectGolden(builder, files);
+}
+
+TEST_F(MapBuilderPatchTest, AmbiguousAliasTieFallsBackAndStaysGolden) {
+  // nick is aliased to BOTH p1 and p2.  While p1 is strictly cheaper the alias
+  // region patches fine; once the edit makes p1 and p2 tie at equal (cost, hops),
+  // nick's parent depends on alias-warped pop order the patch cannot reconstruct,
+  // so it must refuse — and the replay still lands on the golden output.
+  std::vector<InputFile> files = {
+      {"f0.map", "hub\tp1(10), p2(20)\n"},
+      {"f1.map", "p1\thub(10)\np2\thub(20)\nnick = p1\nnick = p2\n"},
+  };
+  MapBuilder builder(MapBuilderOptions{.local = "hub"});
+  ASSERT_TRUE(builder.Build(files));
+
+  files[0].content = "hub\tp1(10), p2(10)\n";
+  UpdateStats stats = builder.Update({files[0]});
+  EXPECT_FALSE(stats.patched);
+  EXPECT_NE(stats.rebuild_reason.find("ambiguous alias tie"), std::string::npos)
+      << stats.rebuild_reason;
   ExpectGolden(builder, files);
 }
 

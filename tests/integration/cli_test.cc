@@ -466,5 +466,125 @@ TEST_F(CliTest, RoutedbUpdatePatchesImageInPlace) {
   EXPECT_NE(uninitialized.output.find("--init"), std::string::npos);
 }
 
+TEST_F(CliTest, RoutedbUpdateWithNothingToDoLeavesImageUntouched) {
+  fs::path image = dir_ / "routes.pari";
+  CommandResult init = RunCommand(std::string(ROUTEDB_BIN) + " update --init --local unc " +
+                                  image.string() + " " + map_path_);
+  ASSERT_EQ(WEXITSTATUS(init.status), 0) << init.output;
+  fs::path manifest = dir_ / "routes.pari.state" / "manifest";
+  ASSERT_TRUE(fs::exists(manifest));
+
+  auto read_bytes = [](const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  std::string image_before = read_bytes(image);
+  auto image_mtime = fs::last_write_time(image);
+  auto manifest_mtime = fs::last_write_time(manifest);
+
+  CommandResult noop = RunCommand(std::string(ROUTEDB_BIN) + " update " + image.string());
+  EXPECT_EQ(WEXITSTATUS(noop.status), 0) << noop.output;
+  EXPECT_NE(noop.output.find("nothing to do"), std::string::npos) << noop.output;
+  // --stats keeps its contract on the fast path: the breakdown line still appears
+  // (all zeros), so scripted parsers keyed on it never stall.
+  CommandResult noop_stats =
+      RunCommand(std::string(ROUTEDB_BIN) + " update --stats " + image.string());
+  EXPECT_EQ(WEXITSTATUS(noop_stats.status), 0) << noop_stats.output;
+  EXPECT_NE(noop_stats.output.find("update stats: patched=1"), std::string::npos)
+      << noop_stats.output;
+  // Neither refrozen nor re-saved: bytes AND mtimes are exactly as the init left
+  // them (a rewrite-with-identical-bytes would still bump the timestamps).
+  EXPECT_EQ(read_bytes(image), image_before);
+  EXPECT_EQ(fs::last_write_time(image), image_mtime);
+  EXPECT_EQ(fs::last_write_time(manifest), manifest_mtime);
+
+  // The fast path must not swallow flag validation: a conflicting --local still
+  // errors even with no changed files.
+  CommandResult conflict = RunCommand(std::string(ROUTEDB_BIN) + " update --local elsewhere " +
+                                      image.string());
+  EXPECT_NE(WEXITSTATUS(conflict.status), 0);
+  EXPECT_NE(conflict.output.find("re-run --init"), std::string::npos) << conflict.output;
+
+  // --stats has no meaning on the init path; a silent no-op would mislead scripts.
+  CommandResult init_stats = RunCommand(std::string(ROUTEDB_BIN) + " update --init --stats " +
+                                        image.string() + " " + map_path_);
+  EXPECT_EQ(WEXITSTATUS(init_stats.status), 2);
+  EXPECT_NE(init_stats.output.find("--stats"), std::string::npos) << init_stats.output;
+}
+
+TEST_F(CliTest, RoutedbUpdateStatsReportsPatchBreakdown) {
+  fs::path core = dir_ / "core.map";
+  fs::path nick = dir_ / "nick.map";
+  {
+    std::ofstream out(core);
+    out << "hub\tmid(100)\nmid\thub(100), leafa(50)\n";
+  }
+  {
+    std::ofstream out(nick);
+    out << "leafa\tmid(50)\n";
+  }
+  fs::path image = dir_ / "routes.pari";
+  ASSERT_EQ(WEXITSTATUS(RunCommand(std::string(ROUTEDB_BIN) + " update --init --local hub " +
+                                   image.string() + " " + core.string() + " " +
+                                   nick.string())
+                            .status),
+            0);
+  {
+    std::ofstream out(nick, std::ios::trunc);
+    out << "leafa\tmid(50)\nleafa = nicka\ndead {leafa!mid}\n";
+  }
+  CommandResult update = RunCommand(std::string(ROUTEDB_BIN) + " update --stats " +
+                                    image.string() + " " + nick.string());
+  EXPECT_EQ(WEXITSTATUS(update.status), 0) << update.output;
+  EXPECT_NE(update.output.find("patched"), std::string::npos) << update.output;
+  EXPECT_NE(update.output.find("alias_edits=1"), std::string::npos) << update.output;
+  EXPECT_NE(update.output.find("link_flag_edits=1"), std::string::npos) << update.output;
+  EXPECT_NE(update.output.find("region_has_aliases=1"), std::string::npos) << update.output;
+  // The nickname's route serves from the refrozen image.
+  CommandResult get = RunCommand(std::string(ROUTEDB_BIN) + " get --image " + image.string() +
+                                 " nicka");
+  EXPECT_EQ(WEXITSTATUS(get.status), 0) << get.output;
+}
+
+// Numeric-flag parsing parity: junk, negative, overflow, and out-of-bounds operands
+// must produce a named-flag diagnostic and exit 2 — never an uncaught exception
+// (mapgen --seed used to die on std::stoull) and never silent truncation.
+TEST_F(CliTest, NumericFlagOperandsAreValidatedEverywhere) {
+  struct Case {
+    std::string label;
+    std::string command;
+    std::string flag;  // must appear in the diagnostic
+  };
+  const Case cases[] = {
+      {"mapgen seed junk", std::string(MAPGEN_BIN) + " --small --seed junk", "--seed"},
+      {"mapgen seed trailing", std::string(MAPGEN_BIN) + " --small --seed 12abc", "--seed"},
+      {"mapgen seed negative", std::string(MAPGEN_BIN) + " --small --seed -3", "--seed"},
+      {"mapgen seed overflow",
+       std::string(MAPGEN_BIN) + " --small --seed 99999999999999999999999", "--seed"},
+      {"batch threads junk",
+       std::string(ROUTEDB_BIN) + " batch --threads abc db < /dev/null", "--threads"},
+      {"batch threads negative",
+       std::string(ROUTEDB_BIN) + " batch --threads -2 db < /dev/null", "--threads"},
+      {"batch threads overflow",
+       std::string(ROUTEDB_BIN) + " batch --threads 99999999999999999999999 db < /dev/null",
+       "--threads"},
+      {"batch threads out of bounds",
+       std::string(ROUTEDB_BIN) + " batch --threads 1000000 db < /dev/null", "--threads"},
+      {"batch cache junk",
+       std::string(ROUTEDB_BIN) + " batch --cache-entries 1x db < /dev/null",
+       "--cache-entries"},
+      {"batch cache negative",
+       std::string(ROUTEDB_BIN) + " batch --cache-entries -1 db < /dev/null",
+       "--cache-entries"},
+  };
+  for (const Case& test_case : cases) {
+    CommandResult result = RunCommand(test_case.command);
+    EXPECT_EQ(WEXITSTATUS(result.status), 2) << test_case.label << ": " << result.output;
+    EXPECT_NE(result.output.find(test_case.flag), std::string::npos)
+        << test_case.label << " should name the flag: " << result.output;
+  }
+}
+
 }  // namespace
 }  // namespace pathalias
