@@ -73,13 +73,77 @@ void BasicBatchEngine<RouteSource>::ResolveOneInto(std::string_view host,
 }
 
 template <typename RouteSource>
+template <typename IndexFn>
+size_t BasicBatchEngine<RouteSource>::ResolveCachedRun(std::span<const std::string_view> hosts,
+                                                       std::span<BatchLookup> results,
+                                                       ResultCache* cache, size_t n,
+                                                       IndexFn index_of) const {
+  size_t resolved = 0;
+  // Depth-2 pipeline: `stage` runs one query ahead of retirement, so a hit's
+  // cache-set line has the whole previous query's walk to arrive.  Find is const
+  // and effect-free, so running it early changes nothing observable.
+  NameId ahead_id = kNoName;
+  ResultCache::Handle ahead_handle;
+  auto stage = [&](size_t pos) {
+    ahead_id = routes_->names().Find(hosts[index_of(pos)]);
+    if (ahead_id != kNoName) {
+      ahead_handle = cache->Begin(ahead_id);
+    }
+  };
+  if (n > 0) {
+    stage(0);
+  }
+  for (size_t pos = 0; pos < n; ++pos) {
+    size_t index = index_of(pos);
+    NameId id = ahead_id;
+    ResultCache::Handle handle = ahead_handle;
+    if (pos + 1 < n) {
+      stage(pos + 1);
+    }
+    BatchLookup* out = &results[index];
+    if (id == kNoName) {
+      *out = resolver_.LookupStranger(hosts[index]);
+    } else if (!cache->Get(handle, id, out)) {
+      *out = resolver_.LookupInterned(id);
+      cache->Put(handle, id, *out);
+    }
+    if (out->route.ok()) {
+      ++resolved;
+    }
+  }
+  return resolved;
+}
+
+template <typename RouteSource>
+void BasicBatchEngine<RouteSource>::MaybeDropCaches() {
+  if (caches_.empty() || options_.cache_min_hit_rate <= 0.0) {
+    return;
+  }
+  if (stats_.cache_lookups < kCacheProbationLookups) {
+    return;  // not enough evidence yet
+  }
+  if (stats_.hit_rate() >= options_.cache_min_hit_rate) {
+    return;
+  }
+  // The workload has no hot set worth memoizing: every probe is overhead on top
+  // of a walk the pipelined path runs faster anyway.  Dropping the caches also
+  // retires the hash-partition pass — later batches take the contiguous-range
+  // path.  Either path produces byte-identical results, so this only changes
+  // throughput, never output.
+  caches_.clear();
+  stats_.caches_dropped = true;
+}
+
+template <typename RouteSource>
 size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_view> hosts,
                                                    std::span<BatchLookup> results) {
   size_t count = std::min(hosts.size(), results.size());
   stats_.queries += count;
   if (shards_ == 1 && caches_.empty()) {
-    // Nothing to partition and nothing to memoize: the serial resolver IS this path.
-    size_t resolved = resolver_.ResolveBatch(hosts.first(count), results.first(count));
+    // Nothing to partition and nothing to memoize: the pipelined resolver IS this
+    // path — count lookups in one span, window-K in flight.
+    size_t resolved = resolver_.ResolveBatchPipelined(hosts.first(count),
+                                                      results.first(count), PipelineWindow());
     stats_.resolved += resolved;
     return resolved;
   }
@@ -87,34 +151,25 @@ size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_v
   if (shards_ == 1) {
     // One shard with the cache on: no partition pass, just the cached walk in order.
     ResultCache* cache = &caches_.front();
-    size_t resolved = 0;
-    for (size_t i = 0; i < count; ++i) {
-      ResolveOneInto(hosts[i], cache, &results[i]);
-      if (results[i].route.ok()) {
-        ++resolved;
-      }
-    }
+    size_t resolved =
+        ResolveCachedRun(hosts, results, cache, count, [](size_t pos) { return pos; });
     stats_.resolved += resolved;
     stats_.cache_lookups = cache->stats().lookups;
     stats_.cache_hits = cache->stats().hits;
+    MaybeDropCaches();
     return resolved;
   }
 
   if (caches_.empty()) {
     // Cache off: destination affinity buys nothing, so skip the hash-partition pass
     // entirely — balanced contiguous ranges resolve the same slots to the same bytes
-    // with sequential writeback instead of a scatter.
+    // with sequential writeback instead of a scatter.  Each range runs the resolver's
+    // software pipeline over its own subspan.
     auto run_range = [&](int shard) {
       size_t lo = count * static_cast<size_t>(shard) / static_cast<size_t>(shards_);
       size_t hi = count * (static_cast<size_t>(shard) + 1) / static_cast<size_t>(shards_);
-      size_t resolved = 0;
-      for (size_t i = lo; i < hi; ++i) {
-        ResolveOneInto(hosts[i], nullptr, &results[i]);
-        if (results[i].route.ok()) {
-          ++resolved;
-        }
-      }
-      shard_resolved_[static_cast<size_t>(shard)] = resolved;
+      shard_resolved_[static_cast<size_t>(shard)] = resolver_.ResolveBatchPipelined(
+          hosts.subspan(lo, hi - lo), results.subspan(lo, hi - lo), PipelineWindow());
     };
     pool_->Run(shards_, run_range);  // shards_ > 1 here, so the pool exists
   } else {
@@ -127,15 +182,10 @@ size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_v
       shard_indices_[ShardOf(hosts[i])].push_back(static_cast<uint32_t>(i));
     }
     auto run_shard = [&](int shard) {
-      ResultCache* cache = &caches_[static_cast<size_t>(shard)];
-      size_t resolved = 0;
-      for (uint32_t index : shard_indices_[static_cast<size_t>(shard)]) {
-        ResolveOneInto(hosts[index], cache, &results[index]);
-        if (results[index].route.ok()) {
-          ++resolved;
-        }
-      }
-      shard_resolved_[static_cast<size_t>(shard)] = resolved;
+      const std::vector<uint32_t>& indices = shard_indices_[static_cast<size_t>(shard)];
+      shard_resolved_[static_cast<size_t>(shard)] =
+          ResolveCachedRun(hosts, results, &caches_[static_cast<size_t>(shard)],
+                           indices.size(), [&indices](size_t pos) { return indices[pos]; });
     };
     pool_->Run(shards_, run_shard);
   }
@@ -153,6 +203,7 @@ size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_v
   }
   stats_.cache_lookups = lookups;  // ResultCache stats are already cumulative
   stats_.cache_hits = hits;
+  MaybeDropCaches();
   return resolved;
 }
 

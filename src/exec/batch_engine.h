@@ -49,6 +49,19 @@ struct BatchEngineOptions {
   int threads = 1;           // shard/thread count; 0 means "all hardware threads"
   size_t cache_entries = 0;  // per-shard result cache capacity; 0 disables caching
   ResolveOptions resolve;    // forwarded to the underlying resolver
+
+  // Window for the resolver's software-pipelined loop on the uncached paths
+  // (0 = BasicResolver's default).  The cached paths run their own depth-2
+  // pipeline (lookahead Find + cache-set prefetch) regardless.
+  size_t pipeline_window = 0;
+
+  // Cache self-eviction: when > 0 and the engine's measured hit rate is below
+  // this after a probation of lookups, the caches are dropped for the life of
+  // the engine and batches take the (faster-when-cold) pipelined path.  Results
+  // are byte-identical either way; only throughput changes.  See README
+  // "Result caching" for when the cache loses (it costs ~6% at hot_permille=500
+  // — workloads without a hot set should set cache_entries = 0 or this knob).
+  double cache_min_hit_rate = 0.0;
 };
 
 // Cumulative counters across every batch the engine has served.
@@ -57,6 +70,7 @@ struct BatchEngineStats {
   uint64_t resolved = 0;
   uint64_t cache_lookups = 0;  // interned queries that consulted a shard cache
   uint64_t cache_hits = 0;     // ... and were answered from it
+  bool caches_dropped = false;  // cache_min_hit_rate fired: caching is off for good
 
   double hit_rate() const {
     return cache_lookups == 0 ? 0.0
@@ -122,6 +136,28 @@ class BasicBatchEngine {
   // disabled.  Writing in place matters: a cache hit is one probe and one copy, so a
   // second copy would be a measurable fraction of the whole cached path.
   void ResolveOneInto(std::string_view host, ResultCache* cache, BatchLookup* out) const;
+
+  // The cached shard loop, run as a depth-2 software pipeline: while query j's
+  // walk (or cache copy) completes, query j+1's interner Find has already run and
+  // ResultCache::Begin has prefetched its set's line — so a hit's set read lands
+  // in cache and its tag is never recomputed.  `index_of(pos)` maps loop position
+  // to result slot (identity for the single-shard path, the shard's index vector
+  // when partitioned).  Returns the number resolved.
+  template <typename IndexFn>
+  size_t ResolveCachedRun(std::span<const std::string_view> hosts,
+                          std::span<BatchLookup> results, ResultCache* cache,
+                          size_t n, IndexFn index_of) const;
+
+  // Resolver window honoring options_.pipeline_window (0 = resolver default).
+  size_t PipelineWindow() const {
+    return options_.pipeline_window == 0 ? BasicResolver<RouteSource>::kDefaultPipelineWindow
+                                         : options_.pipeline_window;
+  }
+
+  // Applies cache_min_hit_rate after a batch: once past a probation of lookups,
+  // a hit rate below the floor drops every shard cache permanently.
+  void MaybeDropCaches();
+  static constexpr uint64_t kCacheProbationLookups = 4096;
 
   const RouteSource* routes_;
   BatchEngineOptions options_;

@@ -51,14 +51,39 @@ namespace pathalias {
 namespace exec {
 
 class ResultCache {
+ private:
+  // Defined up front so the public Handle below can point at one.
+  struct Set {
+    std::atomic<NameId> keys[4] = {kNoName, kNoName, kNoName, kNoName};
+    uint8_t armed[4] = {0, 0, 0, 0};  // CLOCK reference bits (owner-only)
+    uint8_t hand = 0;
+    BatchLookup values[4];  // owner-only: the invalidator never touches values
+  };
+
  public:
   static constexpr size_t kWays = 4;
+  static_assert(sizeof(Set::keys) / sizeof(Set::keys[0]) == kWays);
 
   struct Stats {
     uint64_t lookups = 0;
     uint64_t hits = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+  };
+
+  // A resolved set position: Begin() hashes the key once and prefetches the
+  // set's line, then Get and Put reuse the handle instead of recomputing the
+  // tag — the recompute was a measurable slice of the hit path, and issuing
+  // Begin a query early hides the set's cache miss behind the previous
+  // query's walk.
+  class Handle {
+   public:
+    Handle() = default;
+
+   private:
+    friend class ResultCache;
+    explicit Handle(Set* set) : set_(set) {}
+    Set* set_ = nullptr;
   };
 
   // `entries` is the requested capacity; it is rounded up to a whole power-of-two
@@ -80,10 +105,21 @@ class ResultCache {
   size_t capacity() const { return sets_.size() * kWays; }
   const Stats& stats() const { return stats_; }
 
+  // Locates `key`'s set once and prefetches its line.  Issue as early as the key
+  // is known — ideally a query ahead — then hand the handle to Get and Put.
+  Handle Begin(NameId key) {
+    Set* set = &sets_[SetOf(key)];
+    __builtin_prefetch(set);
+    return Handle(set);
+  }
+
   // True and fills `out` if `key` is cached; arms the way's CLOCK reference bit.
-  bool Get(NameId key, BatchLookup* out) {
+  bool Get(NameId key, BatchLookup* out) { return Get(Begin(key), key, out); }
+
+  // Handle form: no tag recompute — `handle` must come from Begin(key).
+  bool Get(Handle handle, NameId key, BatchLookup* out) {
     ++stats_.lookups;
-    Set& set = sets_[SetOf(key)];
+    Set& set = *handle.set_;
     for (size_t way = 0; way < kWays; ++way) {
       if (set.keys[way].load(std::memory_order_relaxed) == key) {
         set.armed[way] = 1;
@@ -101,8 +137,11 @@ class ResultCache {
   // Inserts (or refreshes) `key`.  The caller has just computed `value` with
   // BasicResolver::LookupInterned, so `value` is THE result for `key` — a duplicate
   // insert simply overwrites with identical bytes.
-  void Put(NameId key, const BatchLookup& value) {
-    Set& set = sets_[SetOf(key)];
+  void Put(NameId key, const BatchLookup& value) { Put(Begin(key), key, value); }
+
+  // Handle form: no tag recompute — `handle` must come from Begin(key).
+  void Put(Handle handle, NameId key, const BatchLookup& value) {
+    Set& set = *handle.set_;
     size_t victim = kWays;  // first empty or matching way wins without the hand
     for (size_t way = 0; way < kWays; ++way) {
       NameId current = set.keys[way].load(std::memory_order_relaxed);
@@ -165,13 +204,6 @@ class ResultCache {
   }
 
  private:
-  struct Set {
-    std::atomic<NameId> keys[kWays] = {kNoName, kNoName, kNoName, kNoName};
-    uint8_t armed[kWays] = {0, 0, 0, 0};  // CLOCK reference bits (owner-only)
-    uint8_t hand = 0;
-    BatchLookup values[kWays];  // owner-only: the invalidator never touches values
-  };
-
   size_t SetOf(NameId key) const {
     // Fibonacci scramble: NameIds are dense and small, so without mixing every hot id
     // would land in the first few sets.

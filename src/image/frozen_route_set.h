@@ -50,6 +50,21 @@ class FrozenRouteSet {
     return id == kNoName ? RouteView{} : FindRouteView(id);
   }
 
+  // The pipelined resolver's FindRouteView split (same shape as RouteSet's): the
+  // by-name index slot, then — once HasRoute says yes — the frozen route record,
+  // each prefetched one pipeline round before it is read.
+  bool HasRoute(NameId id) const { return id < name_count_ && by_name_[id] != 0; }
+  void PrefetchFind(NameId id) const {
+    if (id < name_count_) {
+      __builtin_prefetch(by_name_ + id);
+    }
+  }
+  void PrefetchRoute(NameId id) const {
+    if (id < name_count_ && by_name_[id] != 0) {
+      __builtin_prefetch(routes_ + (by_name_[id] - 1));
+    }
+  }
+
   // Route `index` in frozen order (the live set's insertion order), for iteration.
   RouteView RouteAt(uint32_t index) const {
     const image::FrozenRoute& route = routes_[index];

@@ -67,6 +67,33 @@ struct BatchLookup {
   bool suffix_match = false;     // a domain suffix hit: prepend the host to the argument
 };
 
+// Firehose-style probe/collision/retire counters for the pipelined batch path.
+// The counting code compiles in only under PATHALIAS_PROBE_STATS (CMake option of
+// the same name); without it ResolveBatchPipelined zeroes the struct and the hot
+// loop carries no counter writes at all.  Counters accrue into a caller-local
+// struct, so concurrent pipelines over one route source never share state.
+struct ResolvePipelineStats {
+  uint64_t lookups = 0;                 // queries entering the pipeline
+  uint64_t name_probes = 0;             // probe sequences begun (host + suffix texts)
+  uint64_t slot_collisions = 0;         // occupied slots with a different hash32
+  uint64_t candidate_rejects = 0;       // hash32 matches whose bytes differed
+  uint64_t stranger_continuations = 0;  // dotted-suffix re-probes spilled into the window
+  uint64_t suffix_memo_hits = 0;        // suffix probes answered by the batch-local memo
+  uint64_t chain_steps = 0;             // domain-suffix chain hops walked
+  uint64_t route_checks = 0;            // HasRoute inspections
+  uint64_t retired_hits = 0;
+  uint64_t retired_misses = 0;
+
+  // True when the counters above are live (PATHALIAS_PROBE_STATS builds).
+  static constexpr bool compiled_in() {
+#ifdef PATHALIAS_PROBE_STATS
+    return true;
+#else
+    return false;
+#endif
+  }
+};
+
 template <typename RouteSource>
 class BasicResolver {
  public:
@@ -89,8 +116,42 @@ class BasicResolver {
   // domain-suffix walk rides the interner's precomputed suffix chains — after the
   // single hash that locates the query name, misses and domain fallbacks are
   // id-chasing with zero per-query allocations.
+  //
+  // ResolveBatch runs the software-pipelined loop at kDefaultPipelineWindow (it is
+  // ResolveBatchPipelined with the default window); results are byte-identical to
+  // ResolveBatchScalar at every window size — enforced by tests, the fuzz harness,
+  // and CI against the committed benchmark run.
   size_t ResolveBatch(std::span<const std::string_view> hosts,
                       std::span<BatchLookup> results) const;
+
+  // The one-query-at-a-time reference loop (what ResolveBatch was before the
+  // pipeline): each lookup's dependent-miss chain — hash, probe slot, interner
+  // entry, by-name index, route record — stalls to completion before the next
+  // query starts.  Retained as the golden reference and the degraded-mode path.
+  size_t ResolveBatchScalar(std::span<const std::string_view> hosts,
+                            std::span<BatchLookup> results) const;
+
+  // The software pipeline: a ring of `window` lookups in flight.  Each lane
+  // advances one stage per sweep — hash+slot-prefetch on launch, one probe-slot
+  // inspection, entry-hash verify, name-byte verify, route-index check / suffix
+  // chain hop, route-record retire — and every stage touches only lines a
+  // prefetch was issued for one full sweep (window-1 other lane steps) earlier.
+  // Misses don't stall the pipe: a stranger's next dotted-suffix probe and a
+  // suffix walk's next chain hop are spilled back into the lane as continuations.
+  // `window` is clamped to [1, kMaxPipelineWindow]; tables that cannot be probed
+  // slot-wise (stolen, empty) fall back to the scalar loop.  `stats`, when
+  // non-null, is zeroed and — in PATHALIAS_PROBE_STATS builds — filled with
+  // probe/collision/retire counters for the call.
+  size_t ResolveBatchPipelined(std::span<const std::string_view> hosts,
+                               std::span<BatchLookup> results, size_t window,
+                               ResolvePipelineStats* stats = nullptr) const;
+
+  // Measured sweet spot across map scales: at 1986 scale (8-9k names, cache
+  // resident) any window from 8 to 48 is within noise of the best; at 4x-16x
+  // scale (L3/DRAM resident) wider windows win, flat from 24 up.  24 takes the
+  // plateau of both regimes without outsizing the lane state.
+  static constexpr size_t kDefaultPipelineWindow = 24;
+  static constexpr size_t kMaxPipelineWindow = 64;
 
   // The per-query pieces ResolveBatch is made of, exposed for the sharded batch
   // engine (src/exec), which hashes each query once and wants to memoize the walk

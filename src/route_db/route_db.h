@@ -96,6 +96,22 @@ class RouteSet {
     const Route* route = Find(id);
     return route != nullptr ? RouteView{route->name, route->route, route->cost} : RouteView{};
   }
+
+  // FindRouteView split for the pipelined resolver (FrozenRouteSet mirrors these):
+  // PrefetchFind covers the by-name index line a HasRoute will read, PrefetchRoute
+  // covers the route record a FindRouteView will read once HasRoute said yes.
+  // Each is one prefetch — callers interleave them across a window of lookups.
+  bool HasRoute(NameId id) const { return id < by_name_.size() && by_name_[id] != 0; }
+  void PrefetchFind(NameId id) const {
+    if (id < by_name_.size()) {
+      __builtin_prefetch(by_name_.data() + id);
+    }
+  }
+  void PrefetchRoute(NameId id) const {
+    if (id < by_name_.size() && by_name_[id] != 0) {
+      __builtin_prefetch(routes_.data() + (by_name_[id] - 1));
+    }
+  }
   RouteView FindRouteView(std::string_view name) const {
     const Route* route = Find(name);
     return route != nullptr ? RouteView{route->name, route->route, route->cost} : RouteView{};

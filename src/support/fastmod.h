@@ -1,0 +1,57 @@
+// Exact remainder by a runtime divisor without the hardware divider.
+//
+// The probe geometry computes two remainders of a 64-bit hash per probe sequence
+// (slot index: k mod T; double-hash stride: k mod T-2, see NameInterner::BeginProbe).
+// A 64-bit DIV is 20-40 cycles and — decisive for the software-pipelined batch
+// resolver — the divider is the one core resource that does not pipeline, so
+// remainders from independent in-flight lookups serialize behind each other no
+// matter how many are in flight.  Precomputing a 128-bit magic reciprocal per
+// divisor turns each remainder into three multiplies (fully pipelined, ~1/cycle
+// throughput), which is what lets a window of K probes actually overlap.
+//
+// Method (Lemire, Kaser & Kurz, "Faster remainders when the divisor is a
+// constant", 2019, generalized to 64-bit dividends): with
+//     M = floor((2^128 - 1) / d) + 1
+// the remainder of any 64-bit n is the high 64 bits of (M * n mod 2^128) * d.
+// The identity is exact for every divisor d >= 1 (d = 1 wraps M to 0 and the
+// pipeline collapses to the correct n % 1 == 0); d = 0 is undefined, as for %.
+// fastmod_test.cc checks the full divisor family the interner uses (the
+// FibonacciPrimes capacities and their T-2 companions) plus powers of two and
+// random divisors against the hardware remainder.
+
+#ifndef SRC_SUPPORT_FASTMOD_H_
+#define SRC_SUPPORT_FASTMOD_H_
+
+#include <cstdint>
+
+namespace pathalias {
+
+class FastMod {
+ public:
+  FastMod() = default;
+  explicit FastMod(uint64_t divisor) { Reset(divisor); }
+
+  void Reset(uint64_t divisor) {
+    divisor_ = divisor;
+    magic_ = divisor == 0 ? 0 : ~__uint128_t{0} / divisor + 1;
+  }
+
+  // n % divisor, exactly.  Precondition: divisor >= 1.
+  uint64_t Mod(uint64_t n) const {
+    const __uint128_t lowbits = magic_ * n;
+    const uint64_t hi = static_cast<uint64_t>(lowbits >> 64);
+    const uint64_t lo = static_cast<uint64_t>(lowbits);
+    const __uint128_t cross = (static_cast<__uint128_t>(lo) * divisor_) >> 64;
+    return static_cast<uint64_t>((static_cast<__uint128_t>(hi) * divisor_ + cross) >> 64);
+  }
+
+  uint64_t divisor() const { return divisor_; }
+
+ private:
+  uint64_t divisor_ = 0;
+  __uint128_t magic_ = 0;
+};
+
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_FASTMOD_H_

@@ -27,7 +27,9 @@ NameInterner::NameInterner(Arena* arena, Options options) : arena_(arena), optio
 }
 
 NameInterner::NameInterner(const FrozenView& view, Options options)
-    : options_(options), frozen_(view) {}
+    : options_(options), frozen_(view) {
+  RefreshProbeDivisors();
+}
 
 NameInterner NameInterner::AdoptFrozen(const FrozenView& view) {
   Options options;
@@ -102,6 +104,7 @@ void NameInterner::Rehash(uint64_t new_capacity) {
     slots_[i] = Slot{kNoName, 0};
   }
   capacity_ = new_capacity;
+  RefreshProbeDivisors();
   ++stats_.rehashes;
   // Reinsert by cached hash: id stability means no string is ever re-hashed or
   // re-compared during growth (slots carry their full probe identity).
@@ -155,6 +158,26 @@ NameId NameInterner::Find(std::string_view name) const {
   }
   uint64_t index = ProbeFor(slots_, capacity_, name, HashName(name), nullptr);
   return slots_[index].id;  // kNoName when the probe stopped at an empty slot
+}
+
+NameId NameInterner::FindPrehashed(std::string_view name, uint64_t hash) const {
+  // Find(name) with the hash already computed (callers batch HashOf up front).
+  // Same degraded modes, same const/no-stats discipline, same outcome.
+  if (frozen()) {
+    if (frozen_.entry_count == 0 || frozen_.table_capacity < 5) {
+      return kNoName;
+    }
+    uint64_t index = ProbeFor(frozen_.slots, frozen_.table_capacity, name, hash, nullptr);
+    return frozen_.slots[index].id;
+  }
+  if (stolen_) {
+    return LinearFind(name);
+  }
+  if (capacity_ == 0) {
+    return kNoName;
+  }
+  uint64_t index = ProbeFor(slots_, capacity_, name, hash, nullptr);
+  return slots_[index].id;
 }
 
 NameId NameInterner::Intern(std::string_view name) {

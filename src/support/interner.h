@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "src/support/arena.h"
+#include "src/support/fastmod.h"
 #include "src/support/primes.h"
 
 namespace pathalias {
@@ -154,7 +155,140 @@ class NameInterner {
   uint64_t HashOf(NameId id) const {
     return frozen() ? frozen_.entries[id].hash : entries_[id].hash;
   }
+  // The probe hash for arbitrary bytes, folded exactly like the stored copies —
+  // hashing a window of queries up front is stage 1 of the resolver's software
+  // pipeline (the per-byte shift/xor chains of different queries are independent,
+  // so a block of HashOf calls overlaps where one-at-a-time hashing serializes).
+  uint64_t HashOf(std::string_view name) const { return HashName(name); }
   bool fold_case() const { return options_.fold_case; }
+
+  // --- Pipelined (prefetch-aware) probing ------------------------------------
+  //
+  // Find() is one dependent-miss chain: slot -> entry -> name bytes.  The calls
+  // below break it into resumable steps so a batch caller can keep K probes in
+  // flight, issuing a __builtin_prefetch for the line each step will touch one
+  // step (K lane-advances) before touching it.  The step sequence visits exactly
+  // the slots ProbeFor visits and applies the same filters (slot hash32, then
+  // byte equality — plus the stored full hash, a pure narrowing of the same
+  // filter), so the outcome is identical to Find(name) for every input.
+
+  // A resumable double-hashing probe position.  `hash` is HashOf(name).
+  struct ProbeCursor {
+    uint64_t index = 0;
+    uint64_t stride = 0;
+    uint64_t hash = 0;
+  };
+
+  // True when the table supports slot-level probing: a live table with slots, or
+  // a non-empty frozen one.  False (empty, stolen) means callers must fall back
+  // to Find(), which handles the degraded modes.
+  bool can_probe() const {
+    if (frozen()) {
+      return frozen_.entry_count > 0 && frozen_.table_capacity >= 5;
+    }
+    return !stolen_ && capacity_ >= 5;
+  }
+
+  ProbeCursor BeginProbe(uint64_t hash) const {
+    // Same geometry as ProbeFor — slot k mod T, the paper's secondary hash
+    // T-2-(k mod T-2) in [1, T-2] — but both remainders go through precomputed
+    // magic reciprocals (see fastmod.h): the hardware divider does not pipeline,
+    // so two DIVs per probe sequence would serialize the in-flight window that
+    // ResolveBatchPipelined exists to overlap.
+    return ProbeCursor{fast_index_.Mod(hash),
+                       fast_stride_.divisor() - fast_stride_.Mod(hash), hash};
+  }
+
+  // Prefetches the cursor's next probe position(s).  Depth is deliberately 1:
+  // although the stride is fixed at BeginProbe (so deeper positions are
+  // address-computable up front), measured end-to-end batch throughput REGRESSES
+  // at depth 2-3 — most probes stop at the first slot, so deeper prefetches are
+  // mostly wasted bandwidth and page walks.
+  static constexpr uint64_t kProbePrefetchDepth = 1;
+  void PrefetchSlot(const ProbeCursor& cursor) const {
+    const Slot* slots = probe_slots();
+    const uint64_t capacity = table_capacity();
+    uint64_t index = cursor.index;
+    for (uint64_t step = 0; step < kProbePrefetchDepth; ++step) {
+      __builtin_prefetch(slots + index);
+      index += cursor.stride;
+      if (index >= capacity) {
+        index -= capacity;
+      }
+    }
+  }
+
+  enum class ProbeOutcome : uint8_t {
+    kEmpty,      // the name is not in the table; the probe is over
+    kCandidate,  // slot hash32 matched: verify `*candidate`'s bytes next
+    kCollision,  // occupied by a different hash: cursor advanced, probe again
+  };
+
+  // Inspects exactly one slot (which PrefetchSlot should have been called for one
+  // pipeline round earlier) and advances the cursor past it on kCandidate and
+  // kCollision, so a rejected candidate resumes the probe exactly where ProbeFor
+  // would.
+  ProbeOutcome ProbeStep(ProbeCursor* cursor, NameId* candidate) const {
+    const Slot& slot = probe_slots()[cursor->index];
+    if (slot.id == kNoName) {
+      return ProbeOutcome::kEmpty;
+    }
+    cursor->index += cursor->stride;
+    if (cursor->index >= table_capacity()) {
+      cursor->index -= table_capacity();
+    }
+    if (slot.hash == static_cast<uint32_t>(cursor->hash)) {
+      *candidate = slot.id;
+      return ProbeOutcome::kCandidate;
+    }
+    return ProbeOutcome::kCollision;
+  }
+
+  // The candidate-verification split: prefetch the entry record, filter on the
+  // stored full hash (a superset of the slot's 32-bit filter, so rejections here
+  // are exactly ProbeFor's byte-compare rejections), prefetch the name bytes,
+  // compare the bytes.  Each step touches one line the previous step prefetched.
+  void PrefetchEntry(NameId id) const {
+    __builtin_prefetch(frozen() ? static_cast<const void*>(frozen_.entries + id)
+                                : static_cast<const void*>(entries_.data() + id));
+  }
+  bool CandidateHashMatches(NameId id, uint64_t hash) const { return HashOf(id) == hash; }
+  void PrefetchNameBytes(NameId id) const { __builtin_prefetch(CStr(id)); }
+  bool CandidateEquals(NameId id, std::string_view name) const {
+    if (options_.fold_case) {
+      return EqualName(id, name);  // byte-by-byte, folding the query as it goes
+    }
+    // Word-wide compare: host names are 5-25 bytes, where libc memcmp's call
+    // and dispatch overhead rivals the compare itself.  Candidates here have
+    // already matched 64 hash bits, so equality is the overwhelmingly common
+    // outcome and the loop nearly always runs to completion.
+    std::string_view stored = View(id);
+    if (stored.size() != name.size()) {
+      return false;
+    }
+    const char* a = stored.data();
+    const char* b = name.data();
+    size_t n = name.size();
+    for (; n >= 8; a += 8, b += 8, n -= 8) {
+      uint64_t wa;
+      uint64_t wb;
+      __builtin_memcpy(&wa, a, 8);
+      __builtin_memcpy(&wb, b, 8);
+      if (wa != wb) {
+        return false;
+      }
+    }
+    for (; n > 0; ++a, ++b, --n) {
+      if (*a != *b) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Find with the hash precomputed by HashOf(name): identical outcome, one hash
+  // pass saved.  Handles every mode Find handles (frozen, stolen, empty).
+  NameId FindPrehashed(std::string_view name, uint64_t hash) const;
 
   // True if `id`'s name ends with the dot-prefixed domain `suffix` — an integer walk
   // of the chain, no byte comparisons.  A name is not a suffix of itself.
@@ -199,6 +333,9 @@ class NameInterner {
 
   NameInterner(const FrozenView& view, Options options);  // AdoptFrozen backend
 
+  // The probe table in whichever mode is active; only valid when can_probe().
+  const Slot* probe_slots() const { return frozen() ? frozen_.slots : slots_; }
+
   uint64_t HashName(std::string_view name) const;
   bool EqualName(NameId id, std::string_view name) const;
   // Index of the slot holding `name` (hash `k`), or of the empty slot where it belongs.
@@ -209,11 +346,24 @@ class NameInterner {
   void Rehash(uint64_t new_capacity);
   NameId LinearFind(std::string_view name) const;
 
+  // Recomputes the probe-geometry reciprocals after any table_capacity() change
+  // (growth rehash, frozen adoption).  A capacity below the can_probe() floor
+  // leaves them stale, which is harmless: BeginProbe requires can_probe().
+  void RefreshProbeDivisors() {
+    uint64_t capacity = table_capacity();
+    if (capacity >= 5) {
+      fast_index_.Reset(capacity);
+      fast_stride_.Reset(capacity - 2);
+    }
+  }
+
   std::unique_ptr<Arena> owned_arena_;
   Arena* arena_ = nullptr;
   Options options_;
   Slot* slots_ = nullptr;
   uint64_t capacity_ = 0;
+  FastMod fast_index_;   // reciprocal of table_capacity()
+  FastMod fast_stride_;  // reciprocal of table_capacity() - 2
   std::vector<Entry> entries_;
   FibonacciPrimes growth_;
   FrozenView frozen_;  // non-null entries => adopt-read-only mode

@@ -302,6 +302,94 @@ TEST(BatchEngine, ZeroThreadsMeansHardwareWidth) {
   EXPECT_EQ(engine.ResolveBatch(queries, results), 1u);
 }
 
+TEST(BatchEngine, PipelineWindowOptionChangesNothingObservable) {
+  // pipeline_window is a pure throughput knob on the uncached paths: every
+  // setting — degenerate, tiny, default-selecting zero, max — produces the
+  // serial resolver's bytes at every thread count.
+  RouteSet routes = BuildRoutes();
+  std::vector<std::string> pool = BuildQueryPool();
+  std::vector<std::string_view> queries = Views(pool);
+
+  Resolver resolver(&routes, ResolveOptions{});
+  std::vector<BatchLookup> serial(queries.size());
+  size_t serial_resolved = resolver.ResolveBatchScalar(queries, serial);
+
+  for (int threads : {1, 4}) {
+    for (size_t window : {size_t{0}, size_t{1}, size_t{2}, size_t{24}, size_t{64}}) {
+      BatchEngineOptions options;
+      options.threads = threads;
+      options.pipeline_window = window;
+      BatchEngine engine(&routes, options);
+      std::vector<BatchLookup> results(queries.size());
+      EXPECT_EQ(engine.ResolveBatch(queries, results), serial_resolved)
+          << threads << " threads, window " << window;
+      ExpectSameResults(serial, results, queries);
+    }
+  }
+}
+
+TEST(BatchEngine, CacheMinHitRateDropsAThrashingCacheAfterProbation) {
+  // ~400 interned destinations cycling through an 8-entry cache thrash it —
+  // nearly every lookup misses.  Once past the probation the floor fires,
+  // caches_dropped latches, and results stay byte-identical throughout.
+  RouteSet routes = BuildRoutes();
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.cache_entries = 8;
+  options.cache_min_hit_rate = 0.25;
+  BatchEngine engine(&routes, options);
+
+  std::vector<std::string> pool;
+  for (int i = 0; i < 200; ++i) {  // every interned host and member, once per batch
+    pool.push_back("host" + std::to_string(i));
+    pool.push_back("m" + std::to_string(i) + ".dept" + std::to_string(i % 7) + ".edu");
+  }
+  std::vector<std::string_view> queries = Views(pool);
+  std::vector<BatchLookup> results(queries.size());
+
+  Resolver resolver(&routes, ResolveOptions{});
+  std::vector<BatchLookup> serial(queries.size());
+  size_t serial_resolved = resolver.ResolveBatchScalar(queries, serial);
+
+  size_t batches = 0;
+  while (!engine.stats().caches_dropped && batches < 64) {
+    EXPECT_EQ(engine.ResolveBatch(queries, results), serial_resolved);
+    ExpectSameResults(serial, results, queries);
+    ++batches;
+  }
+  EXPECT_TRUE(engine.stats().caches_dropped)
+      << "a thrashing cache must be dropped once past the probation";
+  // Dropped means dropped: further batches consult no cache, and the bytes
+  // still match the serial reference.
+  uint64_t lookups_at_drop = engine.stats().cache_lookups;
+  EXPECT_EQ(engine.ResolveBatch(queries, results), serial_resolved);
+  ExpectSameResults(serial, results, queries);
+  EXPECT_EQ(engine.stats().cache_lookups, lookups_at_drop);
+}
+
+TEST(BatchEngine, CacheMinHitRateSparesAHotCache) {
+  // A 100%-repeated stream keeps the measured hit rate far above any sane
+  // floor: the caches must survive probation and keep serving.
+  RouteSet routes = BuildRoutes();
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.cache_entries = 64;
+  options.cache_min_hit_rate = 0.50;
+  BatchEngine engine(&routes, options);
+
+  std::vector<std::string> pool;
+  for (int i = 0; i < 1000; ++i) {
+    pool.push_back("host" + std::to_string(i % 8));
+  }
+  std::vector<std::string_view> queries = Views(pool);
+  std::vector<BatchLookup> results(queries.size());
+  for (int pass = 0; pass < 8; ++pass) {  // > kCacheProbationLookups lookups total
+    EXPECT_EQ(engine.ResolveBatch(queries, results), queries.size());
+  }
+  EXPECT_FALSE(engine.stats().caches_dropped);
+  EXPECT_GT(engine.stats().hit_rate(), 0.9);
+}
+
 TEST(ResultCache, ClockEvictsUnreferencedWaysFirst) {
   ResultCache cache(4);  // one set of four ways
   ASSERT_EQ(cache.capacity(), 4u);

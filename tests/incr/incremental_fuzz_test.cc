@@ -506,6 +506,30 @@ TEST_P(IncrementalFuzz, EveryEditStaysGoldenAcrossBackends) {
       EXPECT_EQ(FormatBatch(builder.routes(), queries, 1), expected) << "step " << step;
       EXPECT_EQ(FormatBatch(builder.routes(), queries, 4), expected) << "step " << step;
 
+      // The pipelined batch loop must stay byte-identical to the scalar
+      // reference over every evolving topology this fuzz produces, at a
+      // degenerate, the default, and the maximum window.
+      {
+        Resolver resolver(&builder.routes(), ResolveOptions{});
+        std::vector<BatchLookup> scalar(queries.size());
+        size_t scalar_resolved = resolver.ResolveBatchScalar(queries, scalar);
+        for (size_t window : {size_t{1}, Resolver::kDefaultPipelineWindow,
+                              Resolver::kMaxPipelineWindow}) {
+          std::vector<BatchLookup> pipelined(queries.size());
+          ASSERT_EQ(resolver.ResolveBatchPipelined(queries, pipelined, window),
+                    scalar_resolved)
+              << "step " << step << " window " << window;
+          for (size_t i = 0; i < queries.size(); ++i) {
+            ASSERT_EQ(scalar[i].route.route.data(), pipelined[i].route.route.data())
+                << "step " << step << " window " << window << " query " << queries[i];
+            ASSERT_EQ(scalar[i].via, pipelined[i].via)
+                << "step " << step << " window " << window << " query " << queries[i];
+            ASSERT_EQ(scalar[i].suffix_match, pipelined[i].suffix_match)
+                << "step " << step << " window " << window << " query " << queries[i];
+          }
+        }
+      }
+
       ASSERT_TRUE(image::ImageWriter::Refreeze(builder.routes(), image_path.string()));
       std::string error;
       auto frozen = FrozenImage::Open(image_path.string(),

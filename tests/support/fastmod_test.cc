@@ -1,0 +1,92 @@
+// FastMod must agree with the hardware remainder for every divisor the interner's
+// probe geometry can present — BeginProbe's cursor feeds the pipelined resolver,
+// whose results are contractually byte-identical to the scalar path, so an
+// off-by-one here would corrupt probe sequences silently.
+
+#include "src/support/fastmod.h"
+
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "src/support/primes.h"
+
+namespace pathalias {
+namespace {
+
+void CheckDivisor(uint64_t divisor, std::mt19937_64& rng) {
+  FastMod fast(divisor);
+  ASSERT_EQ(fast.divisor(), divisor);
+  // Edges first: small dividends, dividends adjacent to multiples of the divisor,
+  // and the extremes of the 64-bit range.
+  const uint64_t edges[] = {0,
+                            1,
+                            2,
+                            divisor - 1,
+                            divisor,
+                            divisor + 1,
+                            2 * divisor,
+                            2 * divisor + 1,
+                            std::numeric_limits<uint64_t>::max() - 1,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t n : edges) {
+    ASSERT_EQ(fast.Mod(n), n % divisor) << "divisor=" << divisor << " n=" << n;
+  }
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t n = rng();
+    ASSERT_EQ(fast.Mod(n), n % divisor) << "divisor=" << divisor << " n=" << n;
+  }
+}
+
+TEST(FastModTest, MatchesHardwareRemainderForProbeDivisors) {
+  std::mt19937_64 rng(0x5061746841ull);
+  // The divisor family BeginProbe actually uses: every Fibonacci-prime capacity
+  // the growth schedule can produce (up to ~100M slots) and its T-2 companion.
+  FibonacciPrimes growth;
+  uint64_t capacity = 5;
+  while (capacity < 100'000'000) {
+    CheckDivisor(capacity, rng);
+    CheckDivisor(capacity - 2, rng);
+    capacity = growth.NextSize(capacity);
+  }
+}
+
+TEST(FastModTest, MatchesHardwareRemainderForAdversarialDivisors) {
+  std::mt19937_64 rng(42);
+  // Powers of two (the magic rounds differently there), their neighbors, 1, and
+  // random 64-bit divisors — none arise from prime capacities, but the helper's
+  // contract is every divisor >= 1.
+  CheckDivisor(1, rng);
+  CheckDivisor(2, rng);
+  CheckDivisor(3, rng);
+  for (int shift = 2; shift < 64; ++shift) {
+    uint64_t pow2 = uint64_t{1} << shift;
+    CheckDivisor(pow2, rng);
+    CheckDivisor(pow2 - 1, rng);
+    CheckDivisor(pow2 + 1, rng);
+  }
+  for (int i = 0; i < 64; ++i) {
+    uint64_t divisor = rng();
+    if (divisor == 0) {
+      divisor = 7;
+    }
+    CheckDivisor(divisor, rng);
+  }
+}
+
+TEST(FastModTest, ResetReplacesDivisor) {
+  std::mt19937_64 rng(7);
+  FastMod fast(97);
+  EXPECT_EQ(fast.Mod(1000), 1000 % 97);
+  fast.Reset(101);
+  EXPECT_EQ(fast.divisor(), 101u);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t n = rng();
+    EXPECT_EQ(fast.Mod(n), n % 101);
+  }
+}
+
+}  // namespace
+}  // namespace pathalias
