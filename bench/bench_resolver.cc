@@ -31,6 +31,7 @@
 #endif
 
 #include "bench/bench_util.h"
+#include "bench/daemon_latency.h"
 #include "src/core/pathalias.h"
 #include "src/exec/batch_engine.h"
 #include "src/image/frozen_route_set.h"
@@ -968,6 +969,23 @@ void WriteBenchJson() {
   }
   double trace_ms = trace_timer.Ms();
 
+  // --- daemon round-trip latency: the served path over a unix-domain socket ---
+  bench_daemon::LatencyStats daemon_single =
+      bench_daemon::MeasureDaemonLatency(f.pari_path, f.batch_queries,
+                                         /*queries_per_request=*/1,
+                                         /*requests=*/2000);
+  bench_daemon::LatencyStats daemon_batch32 =
+      bench_daemon::MeasureDaemonLatency(f.pari_path, f.batch_queries,
+                                         /*queries_per_request=*/32,
+                                         /*requests=*/500);
+  // Offered load well below the closed-loop service rate (~200k/s on this
+  // box), so the p99 here is queueing delay under a steady independent-sender
+  // schedule, not saturation collapse.
+  bench_daemon::OpenLoopStats daemon_open =
+      bench_daemon::MeasureDaemonOpenLoop(f.pari_path, f.batch_queries,
+                                          /*offered_rate_per_second=*/20000,
+                                          /*requests=*/4000);
+
   std::FILE* out = std::fopen("BENCH_resolver.json", "w");
   if (out == nullptr) {
     std::fprintf(stderr, "cannot write BENCH_resolver.json\n");
@@ -1229,6 +1247,59 @@ void WriteBenchJson() {
   std::fprintf(out, "    \"resolved\": %zu,\n", trace_resolved);
   std::fprintf(out, "    \"wall_ms\": %.3f\n", trace_ms);
   std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"daemon_latency\": {\n");
+  std::fprintf(out, "    \"note\": \"closed-loop round trips through an in-process "
+                    "routedbd over a unix-domain datagram socket, serving the same "
+                    "frozen image (result cache on): encode + sendto + poll + drain + "
+                    "coalesce + resolve + reply + decode; lower is better, ms per "
+                    "request, %zu/%zu timed requests after 10%% warmup; open_loop_* "
+                    "sends on a fixed schedule regardless of reply arrival and measures "
+                    "from the scheduled send time (coordinated-omission-free), dropped "
+                    "counts requests with no reply\",\n",
+               daemon_single.requests, daemon_batch32.requests);
+  std::fprintf(out, "    \"single_query\": {\n");
+  std::fprintf(out, "      \"ok\": %s,\n", daemon_single.ok ? "true" : "false");
+  if (!daemon_single.ok) {
+    std::fprintf(out, "      \"error\": \"%s\",\n", daemon_single.error.c_str());
+  }
+  std::fprintf(out, "      \"requests\": %zu,\n", daemon_single.requests);
+  std::fprintf(out, "      \"resolved\": %zu,\n", daemon_single.resolved);
+  std::fprintf(out, "      \"p50_ms\": %.4f,\n", daemon_single.p50_ms);
+  std::fprintf(out, "      \"p99_ms\": %.4f,\n", daemon_single.p99_ms);
+  std::fprintf(out, "      \"max_ms\": %.4f,\n", daemon_single.max_ms);
+  std::fprintf(out, "      \"mean_ms\": %.4f\n", daemon_single.mean_ms);
+  std::fprintf(out, "    },\n");
+  std::fprintf(out, "    \"batch_32_queries\": {\n");
+  std::fprintf(out, "      \"ok\": %s,\n", daemon_batch32.ok ? "true" : "false");
+  if (!daemon_batch32.ok) {
+    std::fprintf(out, "      \"error\": \"%s\",\n", daemon_batch32.error.c_str());
+  }
+  std::fprintf(out, "      \"requests\": %zu,\n", daemon_batch32.requests);
+  std::fprintf(out, "      \"queries_per_request\": %zu,\n",
+               daemon_batch32.queries_per_request);
+  std::fprintf(out, "      \"resolved\": %zu,\n", daemon_batch32.resolved);
+  std::fprintf(out, "      \"p50_ms\": %.4f,\n", daemon_batch32.p50_ms);
+  std::fprintf(out, "      \"p99_ms\": %.4f,\n", daemon_batch32.p99_ms);
+  std::fprintf(out, "      \"max_ms\": %.4f,\n", daemon_batch32.max_ms);
+  std::fprintf(out, "      \"mean_ms\": %.4f\n", daemon_batch32.mean_ms);
+  std::fprintf(out, "    },\n");
+  std::fprintf(out, "    \"open_loop_20k_per_second\": {\n");
+  std::fprintf(out, "      \"ok\": %s,\n", daemon_open.ok ? "true" : "false");
+  if (!daemon_open.ok) {
+    std::fprintf(out, "      \"error\": \"%s\",\n", daemon_open.error.c_str());
+  }
+  std::fprintf(out, "      \"requests\": %zu,\n", daemon_open.requests);
+  std::fprintf(out, "      \"offered_rate_per_second\": %zu,\n",
+               daemon_open.offered_rate_per_second);
+  std::fprintf(out, "      \"replies\": %zu,\n", daemon_open.replies);
+  std::fprintf(out, "      \"dropped\": %zu,\n", daemon_open.dropped);
+  std::fprintf(out, "      \"client_send_drops\": %zu,\n", daemon_open.client_send_drops);
+  std::fprintf(out, "      \"daemon_send_drops\": %zu,\n", daemon_open.daemon_send_drops);
+  std::fprintf(out, "      \"p50_ms\": %.4f,\n", daemon_open.p50_ms);
+  std::fprintf(out, "      \"p99_ms\": %.4f,\n", daemon_open.p99_ms);
+  std::fprintf(out, "      \"max_ms\": %.4f\n", daemon_open.max_ms);
+  std::fprintf(out, "    }\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"route_count\": %zu,\n", f.routes.size());
   std::fprintf(out, "  \"pre_refactor_reference\": {\n");
   std::fprintf(out, "    \"note\": \"seed build (string-keyed RouteSet, per-query "
@@ -1292,6 +1363,24 @@ void WriteBenchJson() {
                              alias_incremental.batch_pipeline_best_ms) /
                         alias_incremental.patch_best_ms
                   : 0.0);
+  if (daemon_single.ok && daemon_batch32.ok) {
+    std::printf("daemon latency (unix socket, closed loop): 1 query p50 %.0f us / "
+                "p99 %.0f us; 32 queries p50 %.0f us / p99 %.0f us per request\n",
+                daemon_single.p50_ms * 1000.0, daemon_single.p99_ms * 1000.0,
+                daemon_batch32.p50_ms * 1000.0, daemon_batch32.p99_ms * 1000.0);
+  } else {
+    std::printf("daemon latency: FAILED (%s / %s)\n", daemon_single.error.c_str(),
+                daemon_batch32.error.c_str());
+  }
+  if (daemon_open.ok) {
+    std::printf("daemon latency (open loop, %zu req/s offered): p50 %.0f us / "
+                "p99 %.0f us, %zu/%zu replies, %zu dropped\n",
+                daemon_open.offered_rate_per_second, daemon_open.p50_ms * 1000.0,
+                daemon_open.p99_ms * 1000.0, daemon_open.replies,
+                daemon_open.requests, daemon_open.dropped);
+  } else {
+    std::printf("daemon open-loop latency: FAILED (%s)\n", daemon_open.error.c_str());
+  }
 }
 
 }  // namespace

@@ -1,15 +1,17 @@
 #!/usr/bin/env python3
 """Compare two BENCH_resolver.json files and print a markdown delta table.
 
-Usage: bench_delta.py <committed.json> <fresh.json>
+Usage: bench_delta.py [--gate] <committed.json> <fresh.json>
 
 Walks both documents, pairs up every numeric leaf present in both (dotted paths;
 list elements are matched by index), and prints one row per metric with the
 relative change.  Throughput-like metrics (queries_per_second, speedup, hit_rate,
-*_per_second) regress when they go DOWN; latency-like metrics (*_ms, *_bytes)
-regress when they go UP.  Regressions beyond the threshold get a warning marker so
-they stand out in the CI job summary — the job does not fail on them (runner
-hardware varies); the table is the reviewable artifact.
+*_per_second) regress when they go DOWN; latency-like metrics (*_ms, *_us, *_ns,
+*_bytes — the daemon_latency percentiles among them) regress when they go UP.
+Regressions beyond the threshold get a warning marker so they stand out in the CI
+job summary — the job does not fail on them (runner hardware varies); the table is
+the reviewable artifact.  `--gate` flips that: exit 1 when any metric regressed,
+for local before/after runs on the SAME machine where the numbers are comparable.
 
 A benchmark section present in only one of the two files is normal, not an error:
 a newly landed benchmark has no committed baseline on its first CI run, and a
@@ -25,7 +27,7 @@ import sys
 
 THRESHOLD = 0.10  # relative change that earns a warning marker
 
-LOWER_IS_BETTER = ("_ms", "_bytes")
+LOWER_IS_BETTER = ("_ms", "_us", "_ns", "_bytes")
 HIGHER_IS_BETTER = ("_per_second", "speedup", "hit_rate", "resolved", "queries")
 
 
@@ -59,13 +61,16 @@ def fmt(value):
 
 
 def main():
-    if len(sys.argv) != 3:
+    argv = sys.argv[1:]
+    gate = "--gate" in argv
+    argv = [arg for arg in argv if arg != "--gate"]
+    if len(argv) != 2:
         sys.stderr.write(__doc__)
         return 2
     try:
-        with open(sys.argv[1]) as committed_file:
+        with open(argv[0]) as committed_file:
             committed = json.load(committed_file)
-        with open(sys.argv[2]) as fresh_file:
+        with open(argv[1]) as fresh_file:
             fresh = json.load(fresh_file)
     except (OSError, json.JSONDecodeError) as error:
         sys.stderr.write(f"bench_delta: {error}\n")
@@ -125,7 +130,7 @@ def main():
     else:
         print("\nNo metric regressed by more than "
               f"{THRESHOLD:.0%} (runner-to-runner noise notwithstanding).")
-    return 0
+    return 1 if gate and warnings else 0
 
 
 if __name__ == "__main__":

@@ -137,6 +137,15 @@ void BasicBatchEngine<RouteSource>::MaybeDropCaches() {
 template <typename RouteSource>
 size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_view> hosts,
                                                    std::span<BatchLookup> results) {
+  batches_started_.fetch_add(1, std::memory_order_acq_rel);
+  size_t resolved = ResolveBatchInner(hosts, results);
+  batches_completed_.fetch_add(1, std::memory_order_acq_rel);
+  return resolved;
+}
+
+template <typename RouteSource>
+size_t BasicBatchEngine<RouteSource>::ResolveBatchInner(
+    std::span<const std::string_view> hosts, std::span<BatchLookup> results) {
   size_t count = std::min(hosts.size(), results.size());
   stats_.queries += count;
   if (shards_ == 1 && caches_.empty()) {
@@ -208,9 +217,31 @@ size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_v
 }
 
 template <typename RouteSource>
+bool BasicBatchEngine<RouteSource>::ChainTouchesDirty(
+    NameId id, std::span<const NameId> sorted_dirty) const {
+  // A cached result for `id` is LookupInterned(id): id's own route, else the
+  // first routed id on its precomputed suffix chain.  Any dirty id anywhere on
+  // the chain can change that outcome (via-route rewritten, a closer suffix
+  // gaining a route, the exact route disappearing), so the whole chain decides.
+  for (NameId s = id; s != kNoName; s = routes_->names().Suffix(s)) {
+    if (std::binary_search(sorted_dirty.begin(), sorted_dirty.end(), s)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+template <typename RouteSource>
 void BasicBatchEngine<RouteSource>::InvalidateRoutes(std::span<const NameId> dirty) {
+  if (caches_.empty() || dirty.empty()) {
+    return;
+  }
+  std::vector<NameId> sorted(dirty.begin(), dirty.end());
+  std::sort(sorted.begin(), sorted.end());
   for (ResultCache& cache : caches_) {
-    cache.Invalidate(dirty);
+    // Full key scan (capacity × chain walk): dirty sets are small and updates are
+    // rare next to lookups; correctness of the suffix closure is worth the scan.
+    cache.InvalidateKeysWhere([&](NameId key) { return ChainTouchesDirty(key, sorted); });
   }
 }
 
@@ -220,7 +251,34 @@ void BasicBatchEngine<RouteSource>::AdoptRoutes(const RouteSource* fresh,
   routes_ = fresh;
   resolver_ = BasicResolver<RouteSource>(fresh, options_.resolve);
   fold_case_ = fresh->names().fold_case();
-  InvalidateRoutes(dirty);
+  std::vector<NameId> sorted(dirty.begin(), dirty.end());
+  std::sort(sorted.begin(), sorted.end());
+  const uint32_t fresh_names = static_cast<uint32_t>(fresh->names().size());
+  for (ResultCache& cache : caches_) {
+    cache.VisitEntries([&](NameId key, BatchLookup* value) {
+      // Revoke everything the dirty set's suffix closure condemns (the chain is
+      // walked in the FRESH interner: ids are append-only, so a newly interned
+      // suffix that just gained a route is on the fresh chain and condemns the
+      // stale cached miss below it).
+      if (key >= fresh_names || ChainTouchesDirty(key, sorted)) {
+        return false;
+      }
+      if (!value->route.ok()) {
+        return true;  // a cached miss views nothing; nothing to re-home
+      }
+      if (value->via >= fresh_names) {
+        return false;  // defensive: a via the fresh source does not know
+      }
+      RouteView fresh_view = routes_->FindRouteView(value->via);
+      if (!fresh_view.ok()) {
+        return false;  // defensive: via lost its route without being marked dirty
+      }
+      // The surviving entry's chain is clean, so the fresh bytes are identical —
+      // re-pointing the views is what releases the old mapping.
+      value->route = fresh_view;
+      return true;
+    });
+  }
 }
 
 template class BasicBatchEngine<RouteSet>;

@@ -31,6 +31,7 @@
 #ifndef SRC_EXEC_BATCH_ENGINE_H_
 #define SRC_EXEC_BATCH_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -95,9 +96,14 @@ class BasicBatchEngine {
   size_t ResolveBatch(std::span<const std::string_view> hosts,
                       std::span<BatchLookup> results);
 
-  // Revokes cached results for `dirty` destination NameIds across every shard.
-  // Safe (data-race-free; TSan-enforced) to call from another thread WHILE a batch
-  // is in flight, but then only BEST-EFFORT: a query already past its cache probe
+  // Revokes cached results invalidated by a change to the `dirty` route keys,
+  // across every shard.  Because a cached result for destination `d` depends on
+  // d's whole domain-suffix chain (LookupInterned walks it), revocation condemns
+  // every cached KEY whose chain intersects `dirty` — not just the dirty ids
+  // themselves — so a suffix-match result whose via-route changed, and a cached
+  // miss whose domain just gained a route, both come back fresh.  Safe
+  // (data-race-free; TSan-enforced) to call from another thread WHILE a batch is
+  // in flight, but then only BEST-EFFORT: a query already past its cache probe
   // may serve the pre-update result one last time, and a miss being resolved
   // concurrently may Put a pre-update result back AFTER the revocation, where it
   // stays until something invalidates or evicts it again.  A hard cut therefore
@@ -106,19 +112,36 @@ class BasicBatchEngine {
   // No-op when caching is off.
   void InvalidateRoutes(std::span<const NameId> dirty);
 
-  // The sound update flow: switches the engine to `fresh` routes, then revokes
-  // exactly the `dirty` ids (MapBuilder::dirty_route_ids() after a Refreeze)
-  // instead of flushing the world.  Requirements: call between batches (same
-  // caller thread as ResolveBatch — the between-batches timing is also what makes
-  // the invalidation a hard cut, see above); fresh must share the old source's
-  // NameId assignment for surviving names (a RouteSet maintained by ApplyDelta, or
-  // an image refrozen from it, does — ids are append-only); and the OLD source
-  // must outlive the engine, because clean cached results still view its bytes —
-  // that is what makes the swap flush-free.  NOTE: mutating a live RouteSet the
-  // engine is reading (ApplyDelta in place) is NOT a supported update path — its
-  // vectors reallocate under the reader; serve from frozen images (or a second
-  // RouteSet instance) and swap here.
+  // The sound update flow: switches the engine to `fresh` routes, revokes every
+  // cached entry whose suffix chain intersects the `dirty` ids
+  // (MapBuilder::dirty_route_ids() after a Refreeze), and RE-HOMES every surviving
+  // entry's views onto the fresh source's storage (identical bytes — the entry
+  // survived precisely because nothing on its chain changed).  After this returns
+  // the engine holds NO references to the old source: the caller may retire (and
+  // unmap) it as soon as every batch that started before the swap has drained —
+  // poll batches_completed() against a batches_started() mark taken at swap time
+  // (src/net's RolloverController does exactly this).  Requirements: call between
+  // batches on the ResolveBatch caller thread (what makes the revocation a hard
+  // cut), and fresh must share the old source's NameId assignment for surviving
+  // names (a RouteSet maintained by ApplyDelta, or an image refrozen from it,
+  // does — ids are append-only).  NOTE: mutating a live RouteSet the engine is
+  // reading (ApplyDelta in place) is NOT a supported update path — its vectors
+  // reallocate under the reader; serve from frozen images (or a second RouteSet
+  // instance) and swap here.
   void AdoptRoutes(const RouteSource* fresh, std::span<const NameId> dirty);
+
+  // Drain-then-retire instrumentation: monotonic counts of ResolveBatch calls
+  // entered and returned.  started is incremented before any work, completed
+  // after all of it (release; read with acquire), so once
+  // batches_completed() >= a mark taken from batches_started(), every batch the
+  // mark covers has fully drained and resources those batches could have read —
+  // an old mapping after AdoptRoutes — are retirable.  Readable from any thread.
+  uint64_t batches_started() const {
+    return batches_started_.load(std::memory_order_acquire);
+  }
+  uint64_t batches_completed() const {
+    return batches_completed_.load(std::memory_order_acquire);
+  }
 
   int shards() const { return shards_; }
   size_t cache_entries_per_shard() const {
@@ -159,6 +182,15 @@ class BasicBatchEngine {
   void MaybeDropCaches();
   static constexpr uint64_t kCacheProbationLookups = 4096;
 
+  // ResolveBatch minus the drain counters (the public entry wraps it).
+  size_t ResolveBatchInner(std::span<const std::string_view> hosts,
+                           std::span<BatchLookup> results);
+
+  // True when any id on `id`'s domain-suffix chain (per `names`) is in the
+  // sorted `dirty` list — the invalidation predicate AdoptRoutes and
+  // InvalidateRoutes share.
+  bool ChainTouchesDirty(NameId id, std::span<const NameId> sorted_dirty) const;
+
   const RouteSource* routes_;
   BatchEngineOptions options_;
   BasicResolver<RouteSource> resolver_;
@@ -169,6 +201,8 @@ class BasicBatchEngine {
   std::vector<std::vector<uint32_t>> shard_indices_;  // reused partition buffers
   std::vector<size_t> shard_resolved_;      // per-shard hit counts, one write each
   BatchEngineStats stats_;
+  std::atomic<uint64_t> batches_started_{0};
+  std::atomic<uint64_t> batches_completed_{0};
 };
 
 // The two supported backends (FrozenRouteSet is forward-declared by resolver.h);

@@ -193,6 +193,45 @@ class ResultCache {
     }
   }
 
+  // Full-scan form of Invalidate: revokes every entry whose KEY the predicate
+  // condemns.  Same concurrency contract as Invalidate (keys only, values never
+  // read), so an updater thread may run it mid-batch best-effort.  This is what a
+  // route update actually needs: a cached result for destination `id` depends on
+  // id's whole domain-suffix chain, not just on id — the predicate gets the key
+  // and decides with the interner's chain in hand (see AdoptRoutes).
+  template <typename Predicate>
+  void InvalidateKeysWhere(Predicate&& condemned) {
+    for (Set& set : sets_) {
+      for (size_t way = 0; way < kWays; ++way) {
+        NameId key = set.keys[way].load(std::memory_order_relaxed);
+        if (key != kNoName && condemned(key)) {
+          set.keys[way].store(kNoName, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
+  // OWNER-THREAD-ONLY (no batch in flight): visits every live entry with mutable
+  // access to its value; a false return revokes the entry.  This is the adoption
+  // hook — after a route-source swap the engine re-homes each surviving value's
+  // views onto the fresh source's storage so nothing in the cache references the
+  // old mapping, which is what lets the old mapping actually be unmapped once
+  // in-flight batches drain (AdoptRoutes + batches_completed()).
+  template <typename Visitor>
+  void VisitEntries(Visitor&& visit) {
+    for (Set& set : sets_) {
+      for (size_t way = 0; way < kWays; ++way) {
+        NameId key = set.keys[way].load(std::memory_order_relaxed);
+        if (key == kNoName) {
+          continue;
+        }
+        if (!visit(key, &set.values[way])) {
+          set.keys[way].store(kNoName, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+
   void Clear() {
     for (Set& set : sets_) {
       for (size_t way = 0; way < kWays; ++way) {

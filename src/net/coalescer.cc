@@ -1,0 +1,74 @@
+#include "src/net/coalescer.h"
+
+namespace pathalias {
+namespace net {
+
+void RequestCoalescer::Add(const PeerAddress& peer, uint64_t request_id,
+                           const std::vector<std::string_view>& queries) {
+  Pending pending;
+  pending.peer = peer;
+  pending.request_id = request_id;
+  pending.first_query = offsets_.size();
+  pending.query_count = queries.size();
+  pending_.push_back(pending);
+  for (std::string_view query : queries) {
+    offsets_.emplace_back(static_cast<uint32_t>(arena_.size()),
+                          static_cast<uint32_t>(query.size()));
+    arena_.append(query);
+  }
+}
+
+const std::vector<std::string_view>& RequestCoalescer::Finish() {
+  views_.clear();
+  views_.reserve(offsets_.size());
+  for (const auto& [offset, length] : offsets_) {
+    views_.emplace_back(arena_.data() + offset, length);
+  }
+  return views_;
+}
+
+void RequestCoalescer::Reset() {
+  pending_.clear();
+  arena_.clear();
+  offsets_.clear();
+  views_.clear();
+}
+
+std::string ReplayBuffer::KeyOf(const PeerAddress& peer, uint64_t request_id) {
+  std::string key;
+  std::string_view address = peer.key();
+  key.reserve(address.size() + sizeof(request_id));
+  key.append(address);
+  key.append(reinterpret_cast<const char*>(&request_id), sizeof(request_id));
+  return key;
+}
+
+const std::string* ReplayBuffer::Find(const PeerAddress& peer,
+                                      uint64_t request_id) const {
+  if (capacity_ == 0) {
+    return nullptr;
+  }
+  auto it = replies_.find(KeyOf(peer, request_id));
+  return it == replies_.end() ? nullptr : &it->second;
+}
+
+void ReplayBuffer::Put(const PeerAddress& peer, uint64_t request_id,
+                       std::string reply) {
+  if (capacity_ == 0) {
+    return;
+  }
+  std::string key = KeyOf(peer, request_id);
+  auto [it, inserted] = replies_.try_emplace(key, std::move(reply));
+  if (!inserted) {
+    it->second = std::move(reply);  // retransmit answered twice: keep the latest
+    return;
+  }
+  order_.push_back(std::move(key));
+  while (order_.size() > capacity_) {
+    replies_.erase(order_.front());
+    order_.pop_front();
+  }
+}
+
+}  // namespace net
+}  // namespace pathalias

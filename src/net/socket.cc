@@ -1,0 +1,201 @@
+#include "src/net/socket.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <cstring>
+#include <utility>
+
+#include "src/support/io_retry.h"
+
+namespace pathalias {
+namespace net {
+namespace {
+
+void SetError(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+bool MakeNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+DatagramSocket& DatagramSocket::operator=(DatagramSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+    if (!owned_path_.empty()) {
+      ::unlink(owned_path_.c_str());
+    }
+    fd_ = std::exchange(other.fd_, -1);
+    owned_path_ = std::exchange(other.owned_path_, std::string());
+  }
+  return *this;
+}
+
+DatagramSocket::~DatagramSocket() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  if (!owned_path_.empty()) {
+    ::unlink(owned_path_.c_str());
+  }
+}
+
+std::optional<DatagramSocket> DatagramSocket::BindUnixAt(const std::string& path,
+                                                         std::string* error) {
+  sockaddr_un address{};
+  address.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(address.sun_path)) {
+    if (error != nullptr) {
+      *error = "unix socket path too long: " + path;
+    }
+    return std::nullopt;
+  }
+  std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
+
+  DatagramSocket socket;
+  socket.fd_ = ::socket(AF_UNIX, SOCK_DGRAM, 0);
+  if (socket.fd_ < 0) {
+    SetError(error, "socket");
+    return std::nullopt;
+  }
+  if (::bind(socket.fd_, reinterpret_cast<sockaddr*>(&address),
+             static_cast<socklen_t>(sizeof(address))) != 0) {
+    SetError(error, "bind");
+    return std::nullopt;
+  }
+  socket.owned_path_ = path;
+  if (!MakeNonBlocking(socket.fd_)) {
+    SetError(error, "fcntl O_NONBLOCK");
+    return std::nullopt;
+  }
+  return socket;
+}
+
+std::optional<DatagramSocket> DatagramSocket::BindUnix(const std::string& path,
+                                                       std::string* error) {
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  return BindUnixAt(path, error);
+}
+
+std::optional<DatagramSocket> DatagramSocket::BindUdp(uint16_t port, std::string* error) {
+  DatagramSocket socket;
+  socket.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (socket.fd_ < 0) {
+    SetError(error, "socket");
+    return std::nullopt;
+  }
+  sockaddr_in address{};
+  address.sin_family = AF_INET;
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  address.sin_port = htons(port);
+  if (::bind(socket.fd_, reinterpret_cast<sockaddr*>(&address),
+             static_cast<socklen_t>(sizeof(address))) != 0) {
+    SetError(error, "bind");
+    return std::nullopt;
+  }
+  if (!MakeNonBlocking(socket.fd_)) {
+    SetError(error, "fcntl O_NONBLOCK");
+    return std::nullopt;
+  }
+  return socket;
+}
+
+std::optional<DatagramSocket> DatagramSocket::ClientForUnix(const std::string& temp_path,
+                                                            std::string* error) {
+  return BindUnix(temp_path, error);  // a client is just a bound unix socket too
+}
+
+std::optional<DatagramSocket> DatagramSocket::ClientUdp(std::string* error) {
+  return BindUdp(0, error);
+}
+
+PeerAddress DatagramSocket::UnixPeer(const std::string& path) {
+  PeerAddress peer;
+  auto* address = reinterpret_cast<sockaddr_un*>(&peer.storage);
+  address->sun_family = AF_UNIX;
+  size_t n = path.size() < sizeof(address->sun_path) - 1 ? path.size()
+                                                         : sizeof(address->sun_path) - 1;
+  std::memcpy(address->sun_path, path.data(), n);
+  address->sun_path[n] = '\0';
+  peer.length = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + n + 1);
+  return peer;
+}
+
+PeerAddress DatagramSocket::UdpPeer(uint32_t ipv4_host_order, uint16_t port) {
+  PeerAddress peer;
+  auto* address = reinterpret_cast<sockaddr_in*>(&peer.storage);
+  address->sin_family = AF_INET;
+  address->sin_addr.s_addr = htonl(ipv4_host_order);
+  address->sin_port = htons(port);
+  peer.length = static_cast<socklen_t>(sizeof(sockaddr_in));
+  return peer;
+}
+
+ssize_t DatagramSocket::Recv(char* buffer, size_t capacity, PeerAddress* from,
+                             bool* got_one, std::string* error) {
+  from->length = static_cast<socklen_t>(sizeof(from->storage));
+  ssize_t n = support::RetryEintr([&] {
+    from->length = static_cast<socklen_t>(sizeof(from->storage));
+    return ::recvfrom(fd_, buffer, capacity, 0, from->addr(), &from->length);
+  });
+  if (n < 0) {
+    *got_one = false;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      SetError(error, "recvfrom");
+    }
+    return -1;
+  }
+  *got_one = true;
+  return n;
+}
+
+bool DatagramSocket::SendTo(std::string_view datagram, const PeerAddress& to,
+                            bool* dropped, std::string* error) {
+  *dropped = false;
+  ssize_t n = support::RetryEintr([&] {
+    return ::sendto(fd_, datagram.data(), datagram.size(), 0, to.addr(), to.length);
+  });
+  if (n == static_cast<ssize_t>(datagram.size())) {
+    return true;
+  }
+  // A vanished unix peer (its socket file unlinked) or a full buffer is a dropped
+  // datagram — the client's retransmit handles it — not a daemon-stopping error.
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNREFUSED ||
+                errno == ENOENT || errno == EPIPE)) {
+    *dropped = true;
+    return false;
+  }
+  SetError(error, "sendto");
+  return false;
+}
+
+bool DatagramSocket::WaitReadable(int timeout_ms) {
+  pollfd entry{fd_, POLLIN, 0};
+  int ready = support::RetryEintr([&] { return ::poll(&entry, 1, timeout_ms); });
+  return ready > 0 && (entry.revents & POLLIN) != 0;
+}
+
+uint16_t DatagramSocket::bound_udp_port() const {
+  sockaddr_in address{};
+  socklen_t length = static_cast<socklen_t>(sizeof(address));
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&address), &length) != 0) {
+    return 0;
+  }
+  return ntohs(address.sin_port);
+}
+
+}  // namespace net
+}  // namespace pathalias

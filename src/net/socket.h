@@ -1,0 +1,103 @@
+// DatagramSocket: a thin RAII wrapper over UDP and unix-domain datagram sockets
+// with the EINTR/short-I/O discipline of support/io_retry.h applied at every
+// syscall site.
+//
+// Both the daemon and the query client speak through this class; the daemon binds
+// (BindUnix / BindUdp), the client binds an ephemeral address of the matching
+// family (ClientForUnix / ClientUdp) because a datagram *reply* needs a bound
+// source to send back to.  All sockets are nonblocking — the daemon's poll loop
+// must never park inside recvfrom, and the client implements its own timeout with
+// poll.  Datagram semantics make the I/O contract simple: one Recv is one whole
+// datagram (a too-small buffer truncates; callers size buffers at
+// wire::kMaxDatagramBytes), one Send is one whole datagram or an error.
+
+#ifndef SRC_NET_SOCKET_H_
+#define SRC_NET_SOCKET_H_
+
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pathalias {
+namespace net {
+
+// A peer's source address, comparable/hashable via key() so the dedup buffer can
+// index replies by (peer, request id).
+struct PeerAddress {
+  sockaddr_storage storage{};
+  socklen_t length = 0;
+
+  const sockaddr* addr() const { return reinterpret_cast<const sockaddr*>(&storage); }
+  sockaddr* addr() { return reinterpret_cast<sockaddr*>(&storage); }
+  // The raw address bytes as a string key (family + path/ip/port).  Two datagrams
+  // from the same bound socket produce identical keys.
+  std::string_view key() const {
+    return std::string_view(reinterpret_cast<const char*>(&storage),
+                            static_cast<size_t>(length));
+  }
+};
+
+class DatagramSocket {
+ public:
+  DatagramSocket() = default;
+  DatagramSocket(const DatagramSocket&) = delete;
+  DatagramSocket& operator=(const DatagramSocket&) = delete;
+  DatagramSocket(DatagramSocket&& other) noexcept { *this = std::move(other); }
+  DatagramSocket& operator=(DatagramSocket&& other) noexcept;
+  ~DatagramSocket();
+
+  // Server binds.  BindUnix unlinks a stale socket file at `path` first (the
+  // standard daemon-restart idiom) and owns the path: the destructor unlinks it.
+  static std::optional<DatagramSocket> BindUnix(const std::string& path,
+                                                std::string* error);
+  // Binds 127.0.0.1:<port> (port 0 = kernel-chosen; see bound_udp_port()).
+  static std::optional<DatagramSocket> BindUdp(uint16_t port, std::string* error);
+
+  // Client binds.  A unix-domain client must bind its own (temporary) path to be
+  // replyable; it is unlinked on destruction.  A UDP client just needs any
+  // ephemeral port.
+  static std::optional<DatagramSocket> ClientForUnix(const std::string& temp_path,
+                                                     std::string* error);
+  static std::optional<DatagramSocket> ClientUdp(std::string* error);
+
+  // Address helpers for clients: the daemon's address as a sendable PeerAddress.
+  static PeerAddress UnixPeer(const std::string& path);
+  static PeerAddress UdpPeer(uint32_t ipv4_host_order, uint16_t port);
+
+  // One datagram, nonblocking.  Returns the byte count, 0 for a zero-length
+  // datagram with `*got_one` true, or -1 with `*got_one` false when the socket is
+  // drained (EAGAIN) — any other errno is also -1/false with `*error` set.
+  ssize_t Recv(char* buffer, size_t capacity, PeerAddress* from, bool* got_one,
+               std::string* error = nullptr);
+
+  // One datagram to `to`.  True on success.  EAGAIN (full socket buffer) and
+  // ECONNREFUSED/ENOENT (a unix peer that went away) are reported as false with
+  // `*dropped` true — datagram losses the caller counts, not errors that stop the
+  // loop.  Other errnos set `*error`.
+  bool SendTo(std::string_view datagram, const PeerAddress& to, bool* dropped,
+              std::string* error = nullptr);
+
+  // Blocks up to `timeout_ms` for readability (-1 = forever), EINTR-retried.
+  // True when readable.
+  bool WaitReadable(int timeout_ms);
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  // After BindUdp(0): the kernel-assigned port.
+  uint16_t bound_udp_port() const;
+
+ private:
+  static std::optional<DatagramSocket> BindUnixAt(const std::string& path,
+                                                  std::string* error);
+
+  int fd_ = -1;
+  std::string owned_path_;  // unix socket file to unlink on close ("" = none)
+};
+
+}  // namespace net
+}  // namespace pathalias
+
+#endif  // SRC_NET_SOCKET_H_

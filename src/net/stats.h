@@ -1,0 +1,61 @@
+// Counters for everything the routedbd loop does, printed on exit and on demand
+// (SIGUSR1).  Plain uint64s: the daemon loop is single-threaded, so there is
+// nothing to synchronize — the struct exists so tests and the smoke harness can
+// assert on behavior (dedup hits, truncations, rollovers) instead of scraping
+// logs.
+
+#ifndef SRC_NET_STATS_H_
+#define SRC_NET_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pathalias {
+namespace net {
+
+struct DaemonStats {
+  // Datagram traffic.
+  uint64_t datagrams_in = 0;
+  uint64_t datagrams_out = 0;
+  uint64_t bad_datagrams = 0;      // undecodable requests (bad-request reply or silence)
+  uint64_t send_drops = 0;         // replies the kernel or a vanished peer dropped
+  // Request/reply protocol.
+  uint64_t requests = 0;           // well-formed requests accepted (dedup included)
+  uint64_t duplicate_requests = 0; // answered from the replay buffer, no resolve
+  uint64_t truncated_replies = 0;  // replies sent with kReplyFlagTruncated
+  // Resolution.
+  uint64_t batches = 0;            // ResolveBatch calls (the coalescing ratio is
+                                   // queries / batches vs queries / requests)
+  uint64_t queries = 0;
+  uint64_t resolved = 0;
+  uint64_t malformed_queries = 0;  // per-name rejects inside well-formed requests
+  // Rollover.
+  uint64_t reloads_attempted = 0;
+  uint64_t reloads_applied = 0;    // the engine adopted a fresh mapping
+  uint64_t reloads_noop = 0;       // nothing changed (digest-clean sources)
+  uint64_t reload_errors = 0;
+  uint64_t images_retired = 0;     // old mappings unmapped after their drain
+
+  std::string ToString() const {
+    auto line = [](const char* key, uint64_t value) {
+      return std::string(key) + "=" + std::to_string(value);
+    };
+    return line("datagrams_in", datagrams_in) + " " + line("datagrams_out", datagrams_out) +
+           " " + line("bad_datagrams", bad_datagrams) + " " +
+           line("send_drops", send_drops) + " " + line("requests", requests) + " " +
+           line("duplicate_requests", duplicate_requests) + " " +
+           line("truncated_replies", truncated_replies) + " " + line("batches", batches) +
+           " " + line("queries", queries) + " " + line("resolved", resolved) + " " +
+           line("malformed_queries", malformed_queries) + " " +
+           line("reloads_attempted", reloads_attempted) + " " +
+           line("reloads_applied", reloads_applied) + " " +
+           line("reloads_noop", reloads_noop) + " " +
+           line("reload_errors", reload_errors) + " " +
+           line("images_retired", images_retired);
+  }
+};
+
+}  // namespace net
+}  // namespace pathalias
+
+#endif  // SRC_NET_STATS_H_

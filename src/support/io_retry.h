@@ -1,0 +1,87 @@
+// Short-I/O and EINTR discipline for raw file descriptors, shared by the daemon
+// (src/net) and any tool that talks to pipes or sockets directly.
+//
+// POSIX read/write may transfer fewer bytes than asked (pipes, sockets, signals)
+// and may fail with EINTR without transferring anything.  Every raw syscall site
+// in this codebase goes through these helpers so the retry policy lives in one
+// place: retry on EINTR always, loop on short transfers until the full count is
+// moved or a real error/EOF ends it.  Datagram sockets are different — a datagram
+// sends or receives whole or not at all — so src/net/socket.h wraps sendto/recvfrom
+// with RetryEintr directly rather than a transfer loop.
+//
+// Long-running tools must also ignore SIGPIPE: a peer closing its socket between
+// our poll and our send must surface as EPIPE from the syscall (handled, counted),
+// not kill the process.  Filters (pathalias, routedb batch) keep the default — for
+// a pipeline, dying silently on a closed pipe is the correct UNIX behavior.
+
+#ifndef SRC_SUPPORT_IO_RETRY_H_
+#define SRC_SUPPORT_IO_RETRY_H_
+
+#include <cerrno>
+#include <cstddef>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <unistd.h>
+#endif
+
+namespace pathalias {
+namespace support {
+
+// Retries `call` (any syscall-shaped callable returning a signed count) until it
+// returns something other than -1/EINTR.  The one-liner that keeps every call
+// site honest about interrupted syscalls.
+template <typename Call>
+auto RetryEintr(Call&& call) -> decltype(call()) {
+  decltype(call()) result;
+  do {
+    result = call();
+  } while (result < 0 && errno == EINTR);
+  return result;
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+
+// Reads exactly `count` bytes unless EOF or a real error intervenes.  Returns the
+// number of bytes actually read: `count` on success, less on EOF, -1 on error
+// (errno set; never EINTR).
+inline ssize_t ReadFull(int fd, void* buffer, size_t count) {
+  char* out = static_cast<char*>(buffer);
+  size_t done = 0;
+  while (done < count) {
+    ssize_t n = RetryEintr([&] { return ::read(fd, out + done, count - done); });
+    if (n < 0) {
+      return -1;
+    }
+    if (n == 0) {
+      break;  // EOF
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// Writes exactly `count` bytes or fails: returns `count` on success, -1 on error
+// (errno set; never EINTR, and a short write is retried, not returned).
+inline ssize_t WriteFull(int fd, const void* buffer, size_t count) {
+  const char* in = static_cast<const char*>(buffer);
+  size_t done = 0;
+  while (done < count) {
+    ssize_t n = RetryEintr([&] { return ::write(fd, in + done, count - done); });
+    if (n < 0) {
+      return -1;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+// For daemons: a peer disappearing mid-send must be an errno, not a process death.
+inline void IgnoreSigpipe() { ::signal(SIGPIPE, SIG_IGN); }
+
+#endif  // __unix__ || __APPLE__
+
+}  // namespace support
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_IO_RETRY_H_

@@ -26,23 +26,42 @@
 //                                               state untouched.  --stats adds a
 //                                               breakdown (rebuild_reason, alias/
 //                                               flag/host-state edit counts)
-//   routedb batch [--image] [--threads N] [--cache-entries M] [--stats] <db>
-//                 [hosts.txt]                   bulk host lookup, one per line (stdin
+//   routedb batch [--image] [--threads N] [--cache-entries M] [--chunk-lines L]
+//                 [--stats] <db> [hosts.txt]    bulk host lookup, one per line (stdin
 //                                               if no file): "host<TAB>route-key" per
 //                                               hit, "host<TAB>*miss*" per miss;
 //                                               malformed queries are reported with
 //                                               their line number and skipped.
-//                                               --threads N shards the batch across N
-//                                               threads (0 = all cores);
-//                                               --cache-entries M gives each shard an
-//                                               M-entry result cache; output is
+//                                               Input streams through the engine in
+//                                               chunks of L lines (default 65536), so
+//                                               memory stays bounded on arbitrarily
+//                                               large inputs.  --threads N shards
+//                                               each chunk across N threads (0 = all
+//                                               cores); --cache-entries M gives each
+//                                               shard an M-entry result cache (warm
+//                                               across chunks); output is
 //                                               byte-identical at any setting.
 //                                               --stats adds an execution summary
 //                                               line on stderr.
+//   routedb query --socket PATH | --port UDPPORT [--timeout MS] [--retries N]
+//                 [--id ID] <host>...           ask a running routedbd (see
+//                                               src/net/wire.h): sends one datagram
+//                                               request, retransmits the SAME id on
+//                                               timeout (the daemon dedups), re-asks
+//                                               the tail after a truncated reply.
+//                                               Output per host: "host<TAB>via<TAB>
+//                                               route" on a hit, "host<TAB>*miss*"
+//                                               otherwise.
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <charconv>
+#include <ctime>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -52,6 +71,8 @@
 #include "src/image/image_writer.h"
 #include "src/incr/map_builder.h"
 #include "src/incr/state_dir.h"
+#include "src/net/socket.h"
+#include "src/net/wire.h"
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
 
@@ -66,7 +87,9 @@ int Usage() {
                "       routedb get [--image] <db> <host>\n"
                "       routedb resolve [--image] <db> <address>...\n"
                "       routedb batch [--image] [--threads N] [--cache-entries M] "
-               "[--stats] <db> [hosts.txt]\n";
+               "[--chunk-lines L] [--stats] <db> [hosts.txt]\n"
+               "       routedb query (--socket PATH | --port UDPPORT) [--timeout MS] "
+               "[--retries N] [--id ID] <host>...\n";
   return 2;
 }
 
@@ -74,6 +97,7 @@ int Usage() {
 struct BatchFlags {
   int threads = 1;
   size_t cache_entries = 0;
+  size_t chunk_lines = 65536;  // stdin/file streaming granularity (bounded memory)
   bool stats = false;
 };
 
@@ -106,61 +130,87 @@ std::string SanitizeForTsv(const std::string& line) {
   return out;
 }
 
-// Bulk delivery scan: the well-formed queries go through the sharded batch engine in
-// one call; malformed lines are reported with their line number and skipped.  Output
-// is one line per input line (misses and malformed queries included), so the stream
-// stays aligned with the input for downstream joins — and is byte-identical at every
-// --threads/--cache-entries setting (the engine guarantees it).
+// Bulk delivery scan: the well-formed queries go through the sharded batch engine;
+// malformed lines are reported with their line number and skipped.  Output is one
+// line per input line (misses and malformed queries included), so the stream stays
+// aligned with the input for downstream joins — and is byte-identical at every
+// --threads/--cache-entries/--chunk-lines setting (the engine guarantees the first
+// two; chunking only changes how many lines are in memory at once, never the
+// per-line result).  Input is consumed in chunks of flags.chunk_lines lines, the
+// ONE engine persisting across chunks (shard caches stay warm), so a
+// pipe-a-billion-lines-through-it run holds one chunk, not the whole input.
 template <typename RouteSourceT>
 int RunBatch(const RouteSourceT& routes, std::istream& in, const char* input_name,
              const BatchFlags& flags) {
-  std::vector<std::string> hosts;
-  std::vector<int> line_numbers;
-  std::vector<std::pair<int, std::string>> malformed;  // line number, raw text
-  std::string line;
-  int line_number = 0;
-  size_t malformed_count = 0;
-  while (std::getline(in, line)) {
-    ++line_number;
-    if (line.empty()) {
-      continue;
-    }
-    if (const char* defect = QueryDefect(line)) {
-      std::cerr << "routedb: " << input_name << ":" << line_number << ": malformed query ("
-                << defect << "); skipped\n";
-      malformed.emplace_back(line_number, SanitizeForTsv(line));
-      ++malformed_count;
-      continue;
-    }
-    hosts.push_back(line);
-    line_numbers.push_back(line_number);
-  }
-  std::vector<std::string_view> queries(hosts.begin(), hosts.end());
-  std::vector<pathalias::BatchLookup> results(queries.size());
   pathalias::exec::BatchEngineOptions engine_options;
   engine_options.threads = flags.threads;
   engine_options.cache_entries = flags.cache_entries;
   pathalias::exec::BasicBatchEngine<RouteSourceT> engine(&routes, engine_options);
-  size_t resolved = engine.ResolveBatch(queries, results);
-  size_t next_malformed = 0;
-  for (size_t i = 0; i < queries.size(); ++i) {
-    // Interleave the malformed lines back at their original positions.
-    while (next_malformed < malformed.size() &&
-           malformed[next_malformed].first < line_numbers[i]) {
+
+  const size_t chunk_lines = flags.chunk_lines == 0 ? 1 : flags.chunk_lines;
+  std::vector<std::string> hosts;
+  std::vector<int> line_numbers;
+  std::vector<std::pair<int, std::string>> malformed;  // line number, sanitized text
+  std::vector<std::string_view> queries;
+  std::vector<pathalias::BatchLookup> results;
+  std::string line;
+  int line_number = 0;
+  size_t total_queries = 0;
+  size_t total_resolved = 0;
+  size_t malformed_count = 0;
+  bool eof = false;
+  while (!eof) {
+    hosts.clear();
+    line_numbers.clear();
+    malformed.clear();
+    size_t buffered = 0;  // counts malformed lines too: they are buffered as well
+    while (buffered < chunk_lines) {
+      if (!std::getline(in, line)) {
+        eof = true;
+        break;
+      }
+      ++line_number;
+      if (line.empty()) {
+        continue;
+      }
+      ++buffered;
+      if (const char* defect = QueryDefect(line)) {
+        std::cerr << "routedb: " << input_name << ":" << line_number
+                  << ": malformed query (" << defect << "); skipped\n";
+        malformed.emplace_back(line_number, SanitizeForTsv(line));
+        ++malformed_count;
+        continue;
+      }
+      hosts.push_back(line);
+      line_numbers.push_back(line_number);
+    }
+    if (hosts.empty() && malformed.empty()) {
+      continue;  // a chunk of blank lines right before EOF
+    }
+    queries.assign(hosts.begin(), hosts.end());
+    results.assign(queries.size(), pathalias::BatchLookup{});
+    total_resolved += engine.ResolveBatch(queries, results);
+    total_queries += queries.size();
+    size_t next_malformed = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      // Interleave the malformed lines back at their original positions.
+      while (next_malformed < malformed.size() &&
+             malformed[next_malformed].first < line_numbers[i]) {
+        std::cout << malformed[next_malformed].second << "\t*malformed*\n";
+        ++next_malformed;
+      }
+      if (results[i].route.ok()) {
+        std::cout << queries[i] << "\t" << routes.names().View(results[i].via) << "\n";
+      } else {
+        std::cout << queries[i] << "\t*miss*\n";
+      }
+    }
+    while (next_malformed < malformed.size()) {
       std::cout << malformed[next_malformed].second << "\t*malformed*\n";
       ++next_malformed;
     }
-    if (results[i].route.ok()) {
-      std::cout << queries[i] << "\t" << routes.names().View(results[i].via) << "\n";
-    } else {
-      std::cout << queries[i] << "\t*miss*\n";
-    }
   }
-  while (next_malformed < malformed.size()) {
-    std::cout << malformed[next_malformed].second << "\t*malformed*\n";
-    ++next_malformed;
-  }
-  std::cerr << "routedb: " << resolved << "/" << queries.size() << " resolved";
+  std::cerr << "routedb: " << total_resolved << "/" << total_queries << " resolved";
   if (malformed_count > 0) {
     std::cerr << ", " << malformed_count << " malformed";
   }
@@ -415,6 +465,178 @@ int RunUpdate(int argc, char** argv) {
   return 0;
 }
 
+bool ParseCount(const char* flag, const char* text, uint64_t max, uint64_t* out);
+
+// The routedbd client: one datagram request for all the hosts, retransmit-on-
+// timeout with the SAME request id (the daemon's replay buffer makes the answer
+// idempotent), and truncated replies drive a re-ask of the unanswered tail under
+// a new id.  See src/net/wire.h for the full contract.
+int RunQuery(int argc, char** argv) {
+  std::string socket_path;
+  int udp_port = -1;
+  uint64_t timeout_ms = 1000;
+  uint64_t retries = 4;
+  uint64_t request_id = 0;
+  bool id_set = false;
+  std::vector<std::string_view> hosts;
+  for (int i = 2; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    uint64_t number = 0;
+    if (arg == "--socket" || arg == "--port" || arg == "--timeout" ||
+        arg == "--retries" || arg == "--id") {
+      if (i + 1 >= argc) {
+        return Usage();
+      }
+      const char* value = argv[++i];
+      if (arg == "--socket") {
+        socket_path = value;
+      } else if (arg == "--port") {
+        if (!ParseCount("--port", value, 65535, &number)) {
+          return 2;
+        }
+        udp_port = static_cast<int>(number);
+      } else if (arg == "--timeout") {
+        if (!ParseCount("--timeout", value, 3600'000, &number)) {
+          return 2;
+        }
+        timeout_ms = number;
+      } else if (arg == "--retries") {
+        if (!ParseCount("--retries", value, 1000, &number)) {
+          return 2;
+        }
+        retries = number;
+      } else {
+        if (!ParseCount("--id", value, ~uint64_t{0} >> 1, &number)) {
+          return 2;
+        }
+        request_id = number;
+        id_set = true;
+      }
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      std::cerr << "routedb: unknown option " << arg << "\n";
+      return Usage();
+    } else {
+      hosts.push_back(arg);
+    }
+  }
+  if (hosts.empty() || (socket_path.empty() == (udp_port < 0))) {
+    return Usage();  // exactly one of --socket / --port, plus at least one host
+  }
+  if (!id_set) {
+    // Uniqueness, not unpredictability: pid ⊕ time keeps two concurrent clients
+    // on one machine from colliding in the daemon's (peer, id) dedup space —
+    // and the peer address already differs anyway.
+    request_id = (static_cast<uint64_t>(::getpid()) << 32) ^
+                 static_cast<uint64_t>(::time(nullptr));
+    if (request_id == 0) {
+      request_id = 1;
+    }
+  }
+
+  namespace net = pathalias::net;
+  std::string error;
+  std::optional<net::DatagramSocket> socket;
+  net::PeerAddress server;
+  if (!socket_path.empty()) {
+    // A unix datagram client must bind its own path to be replyable.
+    std::string client_path =
+        socket_path + ".q" + std::to_string(static_cast<long>(::getpid()));
+    socket = net::DatagramSocket::ClientForUnix(client_path, &error);
+    server = net::DatagramSocket::UnixPeer(socket_path);
+  } else {
+    socket = net::DatagramSocket::ClientUdp(&error);
+    server = net::DatagramSocket::UdpPeer(0x7f000001u, static_cast<uint16_t>(udp_port));
+  }
+  if (!socket.has_value()) {
+    std::cerr << "routedb: " << error << "\n";
+    return 1;
+  }
+
+  std::vector<char> buffer(net::kMaxDatagramBytes);
+  std::string request;
+  int failures = 0;
+  size_t answered = 0;  // hosts [0, answered) are printed and final
+  while (answered < hosts.size()) {
+    size_t window = std::min(hosts.size() - answered, net::kMaxQueriesPerRequest);
+    std::span<const std::string_view> asking(hosts.data() + answered, window);
+    if (!net::EncodeRequest(request_id, asking, &request)) {
+      std::cerr << "routedb: query violates protocol bounds (name too long?)\n";
+      return 1;
+    }
+    net::DecodedReply reply;
+    bool got_reply = false;
+    for (uint64_t attempt = 0; attempt <= retries && !got_reply; ++attempt) {
+      bool dropped = false;
+      if (!socket->SendTo(request, server, &dropped, &error)) {
+        if (!dropped) {
+          std::cerr << "routedb: " << error << "\n";
+          return 1;
+        }
+        // Dropped (daemon gone or buffer full): fall through to the timeout wait
+        // and retransmit — indistinguishable from a lost datagram.
+      }
+      if (!socket->WaitReadable(static_cast<int>(timeout_ms))) {
+        continue;  // timeout: retransmit the same id
+      }
+      net::PeerAddress from;
+      bool got_one = false;
+      ssize_t got = socket->Recv(buffer.data(), buffer.size(), &from, &got_one, &error);
+      if (!got_one) {
+        continue;
+      }
+      std::string_view datagram(buffer.data(), static_cast<size_t>(got));
+      if (!net::DecodeReply(datagram, &reply, &error) || reply.request_id != request_id) {
+        continue;  // stray or stale datagram; keep waiting out this attempt's budget
+      }
+      got_reply = true;
+    }
+    if (!got_reply) {
+      std::cerr << "routedb: no reply from "
+                << (socket_path.empty() ? "127.0.0.1:" + std::to_string(udp_port)
+                                        : socket_path)
+                << " after " << (retries + 1) << " attempt(s)\n";
+      return 1;
+    }
+    if ((reply.flags & net::kReplyFlagBadRequest) != 0) {
+      std::cerr << "routedb: daemon rejected the request as malformed\n";
+      return 1;
+    }
+    for (const net::ReplyResult& result : reply.results) {
+      std::string_view host = hosts[answered];
+      switch (result.status) {
+        case net::kResultExact:
+        case net::kResultSuffix:
+          std::cout << host << "\t" << result.via << "\t" << result.route << "\n";
+          break;
+        case net::kResultMiss:
+          std::cout << host << "\t*miss*\n";
+          ++failures;
+          break;
+        case net::kResultMalformed:
+          std::cout << host << "\t*malformed*\n";
+          ++failures;
+          break;
+        case net::kResultTruncated:
+        default:
+          // This single answer exceeded the daemon's reply budget entirely.
+          std::cout << host << "\t*truncated*\n";
+          ++failures;
+          break;
+      }
+      ++answered;
+    }
+    if (reply.results.empty()) {
+      // A non-truncated empty reply would loop forever; treat as protocol error.
+      std::cerr << "routedb: empty reply\n";
+      return 1;
+    }
+    // Truncated (or > kMaxQueriesPerRequest hosts): re-ask the tail under a NEW id
+    // — the daemon's dedup must not replay the truncated answer.
+    ++request_id;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 // Parses the integer operand of --threads / --cache-entries; false on junk.
 bool ParseCount(const char* flag, const char* text, uint64_t max, uint64_t* out) {
   std::string_view view(text);
@@ -475,6 +697,9 @@ int main(int argc, char** argv) {
   if (command == "update") {
     return RunUpdate(argc, argv);
   }
+  if (command == "query") {
+    return RunQuery(argc, argv);
+  }
   if (command == "get" || command == "resolve" || command == "batch") {
     bool use_image = false;
     BatchFlags flags;
@@ -485,7 +710,8 @@ int main(int argc, char** argv) {
         use_image = true;
         continue;
       }
-      if (arg == "--threads" || arg == "--cache-entries" || arg == "--stats") {
+      if (arg == "--threads" || arg == "--cache-entries" || arg == "--chunk-lines" ||
+          arg == "--stats") {
         if (command != "batch") {
           std::cerr << "routedb: " << arg << " only applies to batch\n";
           return 2;
@@ -504,6 +730,12 @@ int main(int argc, char** argv) {
             return 2;
           }
           flags.threads = static_cast<int>(value);
+        } else if (arg == "--chunk-lines") {
+          // 0 would buffer nothing; treat it as the minimum useful chunk.
+          if (!ParseCount("--chunk-lines", argv[++i], uint64_t{1} << 30, &value)) {
+            return 2;
+          }
+          flags.chunk_lines = std::max<size_t>(1, static_cast<size_t>(value));
         } else {
           if (!ParseCount("--cache-entries", argv[++i], uint64_t{1} << 30, &value)) {
             return 2;

@@ -1,0 +1,172 @@
+// routedbd: the long-lived route-resolution daemon.
+//
+// Serves resolve queries from a frozen .pari image over unix-domain and/or UDP
+// datagram sockets (wire format: src/net/wire.h), coalescing concurrent clients
+// into single batch resolves, deduplicating retransmitted requests, and
+// hot-swapping the mapping under live traffic when the map changes:
+//
+//   SIGHUP                 re-read the --map files and run the routedb-update
+//                          pipeline in process (requires <image>.state from
+//                          `routedb update --init`); with no --map files, HUP
+//                          checks the image file for external replacement
+//   image watch            every --watch-interval ms the image file is stat'd;
+//                          a rename by an external `routedb update` is picked
+//                          up and hot-swapped automatically
+//   SIGTERM / SIGINT       finish the current turn (queued requests are
+//                          answered) and exit 0, printing final stats
+//
+// Usage:
+//   routedbd --image routes.pari --unix /run/routedb.sock [--udp PORT]
+//            [--map FILE]... [--threads N] [--cache-entries M]
+//            [--max-reply-bytes B] [--replay-entries R]
+//            [--watch-interval MS] [--ready-fd FD]
+//
+// --ready-fd: a pipe fd the daemon writes one line to once it is serving
+// ("ready <udp-port>\n") — how the smoke test and scripts avoid sleep-loops.
+
+#include <unistd.h>
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/net/daemon.h"
+#include "src/support/io_retry.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: routedbd --image <routes.pari> [--unix PATH] [--udp PORT]\n"
+               "                [--map FILE]... [--threads N] [--cache-entries M]\n"
+               "                [--max-reply-bytes B] [--replay-entries R]\n"
+               "                [--watch-interval MS] [--ready-fd FD]\n"
+               "at least one of --unix / --udp is required\n";
+  return 2;
+}
+
+bool ParseUint(const char* flag, const char* text, uint64_t max, uint64_t* out) {
+  std::string_view view(text);
+  auto [end, errc] = std::from_chars(view.data(), view.data() + view.size(), *out);
+  if (errc != std::errc{} || end != view.data() + view.size() || *out > max) {
+    std::cerr << "routedbd: " << flag << " needs an integer in [0, " << max << "], got '"
+              << text << "'\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pathalias::net::DaemonOptions options;
+  options.udp_port = -1;
+  int ready_fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "routedbd: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    uint64_t number = 0;
+    if (arg == "--image") {
+      const char* v = value("--image");
+      if (v == nullptr) return Usage();
+      options.rollover.image_path = v;
+    } else if (arg == "--unix") {
+      const char* v = value("--unix");
+      if (v == nullptr) return Usage();
+      options.unix_path = v;
+    } else if (arg == "--udp") {
+      const char* v = value("--udp");
+      if (v == nullptr || !ParseUint("--udp", v, 65535, &number)) return Usage();
+      options.udp_port = static_cast<int>(number);
+    } else if (arg == "--map") {
+      const char* v = value("--map");
+      if (v == nullptr) return Usage();
+      options.rollover.map_files.emplace_back(v);
+    } else if (arg == "--threads") {
+      const char* v = value("--threads");
+      if (v == nullptr || !ParseUint("--threads", v, 1024, &number)) return Usage();
+      options.rollover.engine.threads = static_cast<int>(number);
+    } else if (arg == "--cache-entries") {
+      const char* v = value("--cache-entries");
+      if (v == nullptr || !ParseUint("--cache-entries", v, uint64_t{1} << 30, &number)) {
+        return Usage();
+      }
+      options.rollover.engine.cache_entries = static_cast<size_t>(number);
+    } else if (arg == "--max-reply-bytes") {
+      const char* v = value("--max-reply-bytes");
+      if (v == nullptr ||
+          !ParseUint("--max-reply-bytes", v, pathalias::net::kMaxDatagramBytes, &number)) {
+        return Usage();
+      }
+      options.max_reply_bytes = static_cast<size_t>(number);
+    } else if (arg == "--replay-entries") {
+      const char* v = value("--replay-entries");
+      if (v == nullptr || !ParseUint("--replay-entries", v, uint64_t{1} << 20, &number)) {
+        return Usage();
+      }
+      options.replay_entries = static_cast<size_t>(number);
+    } else if (arg == "--watch-interval") {
+      const char* v = value("--watch-interval");
+      if (v == nullptr || !ParseUint("--watch-interval", v, 3600'000, &number)) {
+        return Usage();
+      }
+      options.watch_interval_ms = static_cast<int>(number);
+    } else if (arg == "--ready-fd") {
+      const char* v = value("--ready-fd");
+      if (v == nullptr || !ParseUint("--ready-fd", v, 1 << 20, &number)) return Usage();
+      ready_fd = static_cast<int>(number);
+    } else {
+      std::cerr << "routedbd: unknown option " << arg << "\n";
+      return Usage();
+    }
+  }
+  if (options.rollover.image_path.empty()) {
+    return Usage();
+  }
+  if (options.unix_path.empty() && options.udp_port < 0) {
+    return Usage();
+  }
+  // A serving engine without a cache throws away the daemon's main advantage over
+  // per-request `routedb resolve`; give it a sensible default.
+  if (options.rollover.engine.cache_entries == 0) {
+    options.rollover.engine.cache_entries = 4096;
+  }
+
+  pathalias::net::Daemon daemon(std::move(options));
+  std::string error;
+  if (!daemon.Start(&error)) {
+    std::cerr << "routedbd: " << error << "\n";
+    return 1;
+  }
+  if (!daemon.InstallSignalHandlers(&error)) {
+    std::cerr << "routedbd: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "routedbd: serving";
+  if (!daemon.unix_path().empty()) {
+    std::cerr << " unix:" << daemon.unix_path();
+  }
+  if (daemon.udp_port() != 0) {
+    std::cerr << " udp:127.0.0.1:" << daemon.udp_port();
+  }
+  std::cerr << "\n";
+  if (ready_fd >= 0) {
+    char line[64];
+    int wrote = std::snprintf(line, sizeof(line), "ready %u\n", daemon.udp_port());
+    if (wrote > 0) {
+      pathalias::support::WriteFull(ready_fd, line, static_cast<size_t>(wrote));
+    }
+    pathalias::support::RetryEintr([&] { return ::close(ready_fd); });
+  }
+
+  int exit_code = daemon.Run();
+  std::cerr << "routedbd: exiting; " << daemon.stats().ToString() << "\n";
+  return exit_code;
+}

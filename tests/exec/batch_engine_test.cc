@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -423,6 +424,143 @@ TEST(ResultCache, RoundsCapacityAndDisablesAtZero) {
   EXPECT_EQ(ResultCache(1).capacity(), 4u);
   EXPECT_EQ(ResultCache(5).capacity(), 8u);
   EXPECT_EQ(ResultCache(4096).capacity(), 4096u);
+}
+
+// A small topology with cacheable non-route keys: interning "a.b.org" also
+// interns ".b.org" and ".org", so querying ".b.org" produces a cacheable
+// suffix-match entry (via ".org") and querying ".z.net" a cacheable miss.
+RouteSet BuildChainRoutes(const char* org_route) {
+  RouteSet set;
+  set.Add("gate", "gate!%s", 5);
+  set.Add(".org", org_route, 10);
+  set.Add("a.b.org", "gate!a.b.org!%s", 15);
+  set.Add("c.z.net", "gate!c.z.net!%s", 20);
+  return set;
+}
+
+// Regression: a cached suffix-match result depends on its VIA's route, not just
+// its own key.  Key-only invalidation left ".b.org"'s cached entry (via ".org")
+// stale when only ".org" changed; the chain-closure pass must condemn it.
+TEST(BatchEngine, AdoptRoutesCondemnsSuffixMatchWhoseViaChanged) {
+  RouteSet v1 = BuildChainRoutes("gate!%s");
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.cache_entries = 64;
+  BatchEngine engine(&v1, options);
+
+  std::vector<std::string_view> query = {".b.org"};
+  std::vector<BatchLookup> result(1);
+  ASSERT_EQ(engine.ResolveBatch(query, result), 1u);
+  ASSERT_TRUE(result[0].suffix_match);
+  ASSERT_EQ(result[0].route.route, "gate!%s");
+  ASSERT_EQ(engine.ResolveBatch(query, result), 1u);  // now served from cache
+  ASSERT_GT(engine.stats().cache_hits, 0u);
+
+  // Same Add order → same id assignment; only ".org"'s route differs.
+  RouteSet v2 = BuildChainRoutes("spool!%s");
+  NameId org = v2.names().Find(".org");
+  ASSERT_NE(org, kNoName);
+  std::vector<NameId> dirty = {org};
+  engine.AdoptRoutes(&v2, dirty);
+
+  ASSERT_EQ(engine.ResolveBatch(query, result), 1u);
+  EXPECT_EQ(result[0].route.route, "spool!%s")
+      << "cached suffix match survived although its via's route changed";
+}
+
+// Regression: a cached MISS depends on every id of its suffix chain staying
+// routeless.  When ".net" gains a route, the cached miss for ".z.net" must go.
+TEST(BatchEngine, AdoptRoutesCondemnsCachedMissWhoseDomainGainedARoute) {
+  RouteSet v1 = BuildChainRoutes("gate!%s");
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.cache_entries = 64;
+  BatchEngine engine(&v1, options);
+
+  std::vector<std::string_view> query = {".z.net"};
+  std::vector<BatchLookup> result(1);
+  ASSERT_EQ(engine.ResolveBatch(query, result), 0u);  // miss, and cached as one
+  ASSERT_EQ(engine.ResolveBatch(query, result), 0u);
+  ASSERT_GT(engine.stats().cache_hits, 0u);
+
+  RouteSet v2 = BuildChainRoutes("gate!%s");
+  v2.Add(".net", "gate!%s", 1);  // ".net" was already interned: same id, new route
+  NameId net = v2.names().Find(".net");
+  ASSERT_NE(net, kNoName);
+  ASSERT_EQ(net, v1.names().Find(".net")) << "id stability premise broken";
+  std::vector<NameId> dirty = {net};
+  engine.AdoptRoutes(&v2, dirty);
+
+  ASSERT_EQ(engine.ResolveBatch(query, result), 1u)
+      << "cached miss survived although its domain gained a route";
+  EXPECT_TRUE(result[0].suffix_match);
+  EXPECT_EQ(result[0].route.route, "gate!%s");
+}
+
+// After AdoptRoutes, NOTHING in the engine may reference the old source: clean
+// surviving cache entries are re-homed onto the fresh storage.  Clobbering the
+// old image's bytes (the moral equivalent of munmap) must not change any result.
+TEST(BatchEngine, AdoptRoutesReleasesEveryReferenceToTheOldImage) {
+  RouteSet v1 = BuildChainRoutes("gate!%s");
+  std::string image_a = image::ImageWriter::Freeze(v1);
+  std::string error;
+  auto view_a = image::ImageView::Adopt(image_a, image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(view_a.has_value()) << error;
+  FrozenRouteSet frozen_a(*view_a);
+
+  BatchEngineOptions options;
+  options.threads = 1;
+  options.cache_entries = 64;
+  FrozenBatchEngine engine(&frozen_a, options);
+
+  std::vector<std::string_view> queries = {"a.b.org", ".b.org", ".z.net", "gate"};
+  std::vector<BatchLookup> results(queries.size());
+  engine.ResolveBatch(queries, results);  // warm the cache with all entry kinds
+
+  RouteSet v2 = BuildChainRoutes("spool!%s");
+  std::string image_b = image::ImageWriter::Freeze(v2);
+  auto view_b = image::ImageView::Adopt(image_b, image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(view_b.has_value()) << error;
+  FrozenRouteSet frozen_b(*view_b);
+  NameId org = frozen_b.names().Find(".org");
+  ASSERT_NE(org, kNoName);
+  std::vector<NameId> dirty = {org};
+  engine.AdoptRoutes(&frozen_b, dirty);
+
+  // "Unmap" image A.  Any surviving view into it now reads garbage, which the
+  // byte-compare below (and ASan's container annotations) would catch.
+  std::fill(image_a.begin(), image_a.end(), '\0');
+
+  std::vector<BatchLookup> after(queries.size());
+  engine.ResolveBatch(queries, after);
+  Resolver reference(&v2, ResolveOptions{});
+  std::vector<BatchLookup> expected(queries.size());
+  reference.ResolveBatch(queries, expected);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(after[i].route.ok(), expected[i].route.ok()) << queries[i];
+    EXPECT_EQ(after[i].route.route, expected[i].route.route) << queries[i];
+    if (after[i].route.ok()) {
+      // And the views must alias image B's storage, not a copy of it.
+      EXPECT_EQ(after[i].route.route.data(),
+                frozen_b.FindRouteView(after[i].via).route.data())
+          << queries[i];
+    }
+  }
+}
+
+// The drain counters: started moves before the work, completed after, so a mark
+// taken mid-traffic is reached exactly when every covered batch has returned.
+TEST(BatchEngine, BatchCountersBracketEveryResolve) {
+  RouteSet routes = BuildChainRoutes("gate!%s");
+  BatchEngine engine(&routes, BatchEngineOptions{});
+  EXPECT_EQ(engine.batches_started(), 0u);
+  EXPECT_EQ(engine.batches_completed(), 0u);
+  std::vector<std::string_view> query = {"gate"};
+  std::vector<BatchLookup> result(1);
+  engine.ResolveBatch(query, result);
+  engine.ResolveBatch(query, result);
+  EXPECT_EQ(engine.batches_started(), 2u);
+  EXPECT_EQ(engine.batches_completed(), 2u);
 }
 
 }  // namespace

@@ -586,5 +586,60 @@ TEST_F(CliTest, NumericFlagOperandsAreValidatedEverywhere) {
   }
 }
 
+TEST_F(CliTest, RoutedbBatchStreamsStdinInChunksWithIdenticalOutput) {
+  // The bounded-memory contract: batch reads its input in fixed-size chunks (one
+  // resolve per chunk, malformed lines interleaved back in position), and the
+  // emitted bytes are identical at ANY chunk size — including a stdin stream far
+  // larger than a single chunk, and a pathological chunk of 1 line.
+  std::string routes = (dir_ / "routes.txt").string();
+  std::string cdb = (dir_ / "routes.cdb").string();
+  ASSERT_EQ(RunCommand(std::string(PATHALIAS_BIN) + " -c -l unc -o " + routes + " " +
+                       map_path_)
+                .status,
+            0);
+  ASSERT_EQ(RunCommand(std::string(ROUTEDB_BIN) + " build " + routes + " " + cdb).status, 0);
+
+  std::string hosts = (dir_ / "hosts.txt").string();
+  {
+    const char* names[] = {"phs", "duke", "research", "mit-ai", "ucbvax", "stanford"};
+    std::ofstream out(hosts);
+    for (int i = 0; i < 5000; ++i) {
+      if (i % 37 == 5) {
+        out << "torn line " << i << "\n";  // malformed, interleaved mid-stream
+      } else if (i % 11 == 3) {
+        out << "stranger" << i << ".nowhere.example\n";
+      } else {
+        out << names[i % 6] << "\n";
+      }
+    }
+  }
+
+  CommandResult baseline =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch " + cdb + " " + hosts);
+  ASSERT_EQ(baseline.status, 0);
+  EXPECT_NE(baseline.output.find("phs\tphs"), std::string::npos) << baseline.output;
+  EXPECT_NE(baseline.output.find("torn line 5\t*malformed*"), std::string::npos)
+      << baseline.output;
+
+  for (const char* flags : {"--chunk-lines 1", "--chunk-lines 7", "--chunk-lines 512"}) {
+    // 5000 lines through small chunks, streamed on stdin: the stderr line names
+    // <stdin>, so compare stdout only against a stdout-only baseline (subshell:
+    // RunCommand appends its own 2>&1, which must not resurrect stderr).
+    CommandResult stream = RunCommand("( " + std::string(ROUTEDB_BIN) + " batch " + flags +
+                                      " " + cdb + " < " + hosts + " 2>/dev/null )");
+    CommandResult file_baseline =
+        RunCommand("( " + std::string(ROUTEDB_BIN) + " batch " + cdb + " " + hosts +
+                   " 2>/dev/null )");
+    EXPECT_EQ(stream.status, 0) << flags;
+    EXPECT_EQ(stream.output, file_baseline.output) << flags;
+  }
+
+  CommandResult bad =
+      RunCommand(std::string(ROUTEDB_BIN) + " batch --chunk-lines junk " + cdb +
+                 " < /dev/null");
+  EXPECT_EQ(WEXITSTATUS(bad.status), 2);
+  EXPECT_NE(bad.output.find("--chunk-lines"), std::string::npos) << bad.output;
+}
+
 }  // namespace
 }  // namespace pathalias
