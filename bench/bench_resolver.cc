@@ -985,6 +985,16 @@ void WriteBenchJson() {
       bench_daemon::MeasureDaemonOpenLoop(f.pari_path, f.batch_queries,
                                           /*offered_rate_per_second=*/20000,
                                           /*requests=*/4000);
+  // The offered-load-vs-p99 curve: four independent client sockets sweeping the
+  // aggregate rate from well below the closed-loop service rate into overload,
+  // ~half a second per point.  Drop and overload rates rise with the rate while
+  // the scheduled-time percentiles show where queueing delay takes off.
+  const size_t kCurveRates[] = {10000, 20000, 40000, 80000, 160000};
+  std::vector<bench_daemon::OpenLoopStats> daemon_curve;
+  for (size_t rate : kCurveRates) {
+    daemon_curve.push_back(bench_daemon::MeasureDaemonOfferedLoad(
+        f.pari_path, f.batch_queries, /*clients=*/4, rate, /*requests=*/rate / 2));
+  }
 
   std::FILE* out = std::fopen("BENCH_resolver.json", "w");
   if (out == nullptr) {
@@ -1298,6 +1308,43 @@ void WriteBenchJson() {
   std::fprintf(out, "      \"p50_ms\": %.4f,\n", daemon_open.p50_ms);
   std::fprintf(out, "      \"p99_ms\": %.4f,\n", daemon_open.p99_ms);
   std::fprintf(out, "      \"max_ms\": %.4f\n", daemon_open.max_ms);
+  std::fprintf(out, "    },\n");
+  std::fprintf(out, "    \"offered_load_curve\": {\n");
+  std::fprintf(out, "      \"note\": \"4 client sockets, aggregate send rate swept "
+                    "from under-load into overload, ~0.5s per point; latency is from "
+                    "the scheduled send time; drop_rate counts requests that never got "
+                    "a terminal reply, overload_replies counts header-only sheds "
+                    "(kReplyFlagOverloaded) the client had to retransmit through\",\n");
+  std::fprintf(out, "      \"points\": [\n");
+  for (size_t i = 0; i < daemon_curve.size(); ++i) {
+    const bench_daemon::OpenLoopStats& point = daemon_curve[i];
+    std::fprintf(out, "        {\n");
+    std::fprintf(out, "          \"ok\": %s,\n", point.ok ? "true" : "false");
+    if (!point.ok) {
+      std::fprintf(out, "          \"error\": \"%s\",\n", point.error.c_str());
+    }
+    std::fprintf(out, "          \"offered_rate_per_second\": %zu,\n",
+                 point.offered_rate_per_second);
+    std::fprintf(out, "          \"clients\": %zu,\n", point.clients);
+    std::fprintf(out, "          \"requests\": %zu,\n", point.requests);
+    std::fprintf(out, "          \"replies\": %zu,\n", point.replies);
+    std::fprintf(out, "          \"dropped\": %zu,\n", point.dropped);
+    std::fprintf(out, "          \"drop_rate\": %.4f,\n",
+                 point.requests != 0
+                     ? static_cast<double>(point.dropped) /
+                           static_cast<double>(point.requests)
+                     : 0.0);
+    std::fprintf(out, "          \"overload_replies\": %zu,\n", point.overload_replies);
+    std::fprintf(out, "          \"client_send_drops\": %zu,\n",
+                 point.client_send_drops);
+    std::fprintf(out, "          \"daemon_send_drops\": %zu,\n",
+                 point.daemon_send_drops);
+    std::fprintf(out, "          \"p50_ms\": %.4f,\n", point.p50_ms);
+    std::fprintf(out, "          \"p99_ms\": %.4f,\n", point.p99_ms);
+    std::fprintf(out, "          \"max_ms\": %.4f\n", point.max_ms);
+    std::fprintf(out, "        }%s\n", i + 1 < daemon_curve.size() ? "," : "");
+  }
+  std::fprintf(out, "      ]\n");
   std::fprintf(out, "    }\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"route_count\": %zu,\n", f.routes.size());

@@ -170,9 +170,11 @@ struct OpenLoopStats {
   bool ok = false;
   std::string error;
   size_t requests = 0;
+  size_t clients = 1;
   size_t offered_rate_per_second = 0;
   size_t replies = 0;     // matched replies; requests - replies were lost
   size_t dropped = 0;
+  size_t overload_replies = 0;   // header-only sheds the daemon sent us
   size_t client_send_drops = 0;  // requests the client's sendto itself dropped
   size_t daemon_requests = 0;    // what the daemon saw (from its exit stats)
   size_t daemon_send_drops = 0;  // replies the daemon could not deliver
@@ -181,27 +183,34 @@ struct OpenLoopStats {
   double max_ms = 0.0;
 };
 
-// Open-loop: single-query requests are SENT on a fixed schedule (offered_rate
-// per second) regardless of whether earlier replies have arrived — the
+// Open-loop, multi-client: single-query requests are SENT on a fixed aggregate
+// schedule (offered_rate per second, round-robin across `clients` independent
+// sockets) regardless of whether earlier replies have arrived — the
 // queueing-delay view a burst of independent mailers produces, where a slow
 // turn inflates the latency of everything queued behind it.  Replies are
-// matched to their send time by request id.
-inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
-                                           const std::vector<std::string_view>& pool,
-                                           size_t offered_rate_per_second,
-                                           size_t requests) {
+// matched to their send time by request id (unique across clients).  A
+// header-only overloaded reply counts toward overload_replies and the request
+// stays outstanding (the client discipline is back off and retransmit), so
+// shed load shows up in the latency, never as a silent success.
+inline OpenLoopStats MeasureDaemonOfferedLoad(const std::string& image_path,
+                                              const std::vector<std::string_view>& pool,
+                                              size_t clients,
+                                              size_t offered_rate_per_second,
+                                              size_t requests) {
   namespace fs = std::filesystem;
   using Clock = std::chrono::steady_clock;
   OpenLoopStats stats;
   stats.requests = requests;
+  stats.clients = clients;
   stats.offered_rate_per_second = offered_rate_per_second;
-  if (pool.empty() || offered_rate_per_second == 0) {
+  if (pool.empty() || offered_rate_per_second == 0 || clients == 0) {
     stats.error = "bad workload shape";
     return stats;
   }
 
   fs::path dir = fs::temp_directory_path() /
-                 ("bench_daemon_ol_" + std::to_string(::getpid()));
+                 ("bench_daemon_ol_" + std::to_string(::getpid()) + "_" +
+                  std::to_string(offered_rate_per_second));
   std::error_code ec;
   fs::remove_all(dir, ec);
   fs::create_directories(dir, ec);
@@ -218,9 +227,17 @@ inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
   std::thread server([&daemon] { daemon.Run(); });
 
   {
-    auto client = net::DatagramSocket::ClientForUnix((dir / "c.sock").string(),
-                                                     &stats.error);
-    if (!client.has_value()) {
+    std::vector<net::DatagramSocket> sockets;
+    sockets.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      auto client = net::DatagramSocket::ClientForUnix(
+          (dir / ("c" + std::to_string(c) + ".sock")).string(), &stats.error);
+      if (!client.has_value()) {
+        break;
+      }
+      sockets.push_back(std::move(*client));
+    }
+    if (sockets.size() != clients) {
       daemon.RequestTerminate();
       server.join();
       return stats;
@@ -243,28 +260,38 @@ inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
     const auto deadline_slack = std::chrono::seconds(2);
 
     auto drain_replies = [&]() {
-      for (;;) {
-        net::PeerAddress from;
-        bool got_one = false;
-        std::string error;
-        ssize_t got = client->Recv(buffer.data(), buffer.size(), &from, &got_one, &error);
-        if (!got_one) {
-          return;
-        }
-        net::DecodedReply reply;
-        if (!net::DecodeReply(std::string_view(buffer.data(), static_cast<size_t>(got)),
-                              &reply, &error)) {
-          continue;
-        }
-        size_t index = static_cast<size_t>(reply.request_id) - 1;
-        if (index < requests && !answered[index]) {
-          answered[index] = true;
-          // Latency from the SCHEDULED send time, not the actual sendto — a
-          // late dispatch is queueing delay the offered load caused, and must
-          // not be silently absorbed (coordinated omission).
-          samples.push_back(std::chrono::duration<double, std::milli>(
-                                Clock::now() - scheduled(index))
-                                .count());
+      for (net::DatagramSocket& socket : sockets) {
+        for (;;) {
+          net::PeerAddress from;
+          bool got_one = false;
+          std::string error;
+          ssize_t got =
+              socket.Recv(buffer.data(), buffer.size(), &from, &got_one, &error);
+          if (!got_one) {
+            break;
+          }
+          net::DecodedReply reply;
+          if (!net::DecodeReply(
+                  std::string_view(buffer.data(), static_cast<size_t>(got)), &reply,
+                  &error)) {
+            continue;
+          }
+          if ((reply.flags & net::kReplyFlagOverloaded) != 0) {
+            // Shed, not served: the request stays outstanding and its eventual
+            // retransmit latency is still clocked from the original schedule.
+            ++stats.overload_replies;
+            continue;
+          }
+          size_t index = static_cast<size_t>(reply.request_id) - 1;
+          if (index < requests && !answered[index]) {
+            answered[index] = true;
+            // Latency from the SCHEDULED send time, not the actual sendto — a
+            // late dispatch is queueing delay the offered load caused, and must
+            // not be silently absorbed (coordinated omission).
+            samples.push_back(std::chrono::duration<double, std::milli>(
+                                  Clock::now() - scheduled(index))
+                                  .count());
+          }
         }
       }
     };
@@ -276,17 +303,18 @@ inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
       // not loss: drain replies, yield the core to the daemon, and retry —
       // the scheduled-time accounting already charges the stall to latency.
       while (sent < requests && scheduled(sent) <= now) {
-        drain_replies();  // keep the client's own dgram queue (same tiny qlen
+        drain_replies();  // keep the clients' own dgram queues (same tiny qlen
                           // cap) from overflowing during a catch-up burst
         one[0] = pool[sent % pool.size()];
         if (!net::EncodeRequest(static_cast<uint64_t>(sent) + 1, one, &datagram)) {
           stats.error = "encode failed";
           break;
         }
+        net::DatagramSocket& socket = sockets[sent % clients];
         for (;;) {
           bool dropped = false;
           std::string error;
-          if (client->SendTo(datagram, server_addr, &dropped, &error)) {
+          if (socket.SendTo(datagram, server_addr, &dropped, &error)) {
             break;
           }
           if (!dropped) {
@@ -322,11 +350,12 @@ inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
         if (Clock::now() - scheduled(requests) > deadline_slack) {
           break;  // whatever is still missing was lost: count it, don't hang
         }
-        if (!client->WaitReadable(10)) {
-          // A reply was lost — the protocol's discipline is client retransmit
-          // under the SAME id, which the daemon's replay buffer answers
-          // without re-resolving.  Latency is still clocked from the original
-          // schedule, so the loss shows up in the percentiles, not silently.
+        if (!sockets.front().WaitReadable(10)) {
+          // A reply was lost (or shed) — the protocol's discipline is client
+          // retransmit under the SAME id, which the daemon's replay buffer
+          // answers without re-resolving.  Latency is still clocked from the
+          // original schedule, so the loss shows up in the percentiles, not
+          // silently.
           for (size_t i = 0; i < requests; ++i) {
             if (answered[i]) {
               continue;
@@ -335,7 +364,7 @@ inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
             if (net::EncodeRequest(static_cast<uint64_t>(i) + 1, one, &datagram)) {
               bool dropped = false;
               std::string error;
-              client->SendTo(datagram, server_addr, &dropped, &error);
+              sockets[i % clients].SendTo(datagram, server_addr, &dropped, &error);
             }
             drain_replies();
           }
@@ -360,6 +389,15 @@ inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
   stats.daemon_send_drops = daemon.stats().send_drops;
   fs::remove_all(dir, ec);
   return stats;
+}
+
+// The original single-socket open-loop shape, kept for metric continuity.
+inline OpenLoopStats MeasureDaemonOpenLoop(const std::string& image_path,
+                                           const std::vector<std::string_view>& pool,
+                                           size_t offered_rate_per_second,
+                                           size_t requests) {
+  return MeasureDaemonOfferedLoad(image_path, pool, /*clients=*/1,
+                                  offered_rate_per_second, requests);
 }
 
 }  // namespace bench_daemon

@@ -76,7 +76,14 @@ struct ImageHeader {
   uint64_t route_bytes_offset;  // char[route_bytes_size]
   uint64_t route_bytes_size;
 
-  uint8_t reserved[16];  // pads the header to 128 bytes; zeroed
+  // Publish generation: incremented on every refreeze and mirrored into the
+  // image's .state manifest, so a consumer can tell whether an image and a
+  // state dir were published together.  Images written before this field read
+  // back as generation 0 (the bytes were reserved and zeroed), which every
+  // consumer treats as "unstamped — trust the bytes, not the pairing".
+  uint64_t generation;
+
+  uint8_t reserved[8];  // pads the header to 128 bytes; zeroed
 };
 static_assert(sizeof(ImageHeader) == 128);
 

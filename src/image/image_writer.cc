@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/image/image_format.h"
+#include "src/support/durable_file.h"
 #include "src/support/primes.h"
 
 namespace pathalias {
@@ -27,7 +28,7 @@ void AppendRecords(std::string& out, const std::vector<T>& records) {
 
 }  // namespace
 
-std::string ImageWriter::Freeze(const RouteSet& routes) {
+std::string ImageWriter::Freeze(const RouteSet& routes, uint64_t generation) {
   const NameInterner& names = routes.names();
   const uint32_t name_count = static_cast<uint32_t>(names.size());
   const uint32_t route_count = static_cast<uint32_t>(routes.size());
@@ -104,6 +105,7 @@ std::string ImageWriter::Freeze(const RouteSet& routes) {
   header.name_count = name_count;
   header.route_count = route_count;
   header.table_capacity = capacity;
+  header.generation = generation;
 
   size_t offset = sizeof(ImageHeader);
   header.names_offset = offset;
@@ -147,28 +149,18 @@ std::string ImageWriter::Freeze(const RouteSet& routes) {
   return out;
 }
 
-bool ImageWriter::WriteFile(const RouteSet& routes, const std::string& path) {
-  std::string buffer = Freeze(routes);
-  std::FILE* out = std::fopen(path.c_str(), "wb");
-  if (out == nullptr) {
-    return false;
-  }
-  size_t written = std::fwrite(buffer.data(), 1, buffer.size(), out);
-  int close_status = std::fclose(out);
-  return written == buffer.size() && close_status == 0;
+bool ImageWriter::WriteFile(const RouteSet& routes, const std::string& path,
+                            uint64_t generation, std::string* error) {
+  std::string buffer = Freeze(routes, generation);
+  return support::PublishFileDurably(path, buffer, "image.publish", error);
 }
 
-bool ImageWriter::Refreeze(const RouteSet& routes, const std::string& path) {
-  std::string temp = path + ".refreeze.tmp";
-  if (!WriteFile(routes, temp)) {
-    std::remove(temp.c_str());
-    return false;
-  }
-  if (std::rename(temp.c_str(), path.c_str()) != 0) {
-    std::remove(temp.c_str());
-    return false;
-  }
-  return true;
+bool ImageWriter::Refreeze(const RouteSet& routes, const std::string& path,
+                           uint64_t generation, std::string* error) {
+  // The durable publish IS the refreeze discipline: freeze to `path + ".tmp"`,
+  // fsync, rename over `path`, fsync the directory.  Concurrent readers keep
+  // their old mapping; a crash anywhere leaves old-or-new, never torn.
+  return WriteFile(routes, path, generation, error);
 }
 
 }  // namespace image

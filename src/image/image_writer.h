@@ -18,17 +18,23 @@ namespace image {
 
 class ImageWriter {
  public:
-  // Serializes `routes` (and the interner that owns its keys) into a .pari buffer.
-  static std::string Freeze(const RouteSet& routes);
+  // Serializes `routes` (and the interner that owns its keys) into a .pari buffer,
+  // stamped with `generation` (see ImageHeader::generation; 0 = unstamped).
+  static std::string Freeze(const RouteSet& routes, uint64_t generation = 0);
 
-  // Freeze() straight to a file.  Returns false on I/O failure.
-  static bool WriteFile(const RouteSet& routes, const std::string& path);
+  // Freeze() straight to a file, crash-safely: temp + fsync + rename + parent-dir
+  // fsync (support::PublishFileDurably), so `path` is never observable short or
+  // torn.  Returns false on I/O failure with *error describing the failed step.
+  static bool WriteFile(const RouteSet& routes, const std::string& path,
+                        uint64_t generation = 0, std::string* error = nullptr);
 
-  // Rewrites an existing image in place from a patched RouteSet: freeze to a
-  // temporary sibling, then rename over `path`, so a reader that opened (and
-  // mmap'd) the old image keeps its intact mapping while new opens see the fresh
-  // routes — the update step of the incremental pipeline.
-  static bool Refreeze(const RouteSet& routes, const std::string& path);
+  // Rewrites an existing image in place from a patched RouteSet.  Same durable
+  // temp+rename commit as WriteFile: a reader that opened (and mmap'd) the old
+  // image keeps its intact mapping while new opens see the fresh routes — the
+  // update step of the incremental pipeline.  A crash at any point leaves the
+  // old image intact or the new one complete, never a torn file at `path`.
+  static bool Refreeze(const RouteSet& routes, const std::string& path,
+                       uint64_t generation = 0, std::string* error = nullptr);
 };
 
 }  // namespace image

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/support/failpoint.h"
+
 #if defined(__unix__) || defined(__APPLE__)
 #define PATHALIAS_HAVE_MMAP 1
 #include <fcntl.h>
@@ -16,6 +18,9 @@ namespace image {
 namespace {
 
 bool ReadWholeFile(const std::string& path, std::string* out) {
+  if (support::failpoint::Inject("image.read")) {
+    return false;
+  }
   std::FILE* in = std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
     return false;
@@ -34,13 +39,20 @@ bool ReadWholeFile(const std::string& path, std::string* out) {
 
 std::optional<MappedFile> MappedFile::Open(const std::string& path, bool readahead) {
   MappedFile file;
+  if (support::failpoint::Inject("image.open")) {
+    return std::nullopt;
+  }
 #ifdef PATHALIAS_HAVE_MMAP
   int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
     struct stat st;
     if (::fstat(fd, &st) == 0 && st.st_size > 0) {
-      void* mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
-                            MAP_PRIVATE, fd, 0);
+      // An armed "image.mmap" exercises the degraded path below: mmap failure
+      // falls back to reading the whole file, never to a failed open.
+      void* mapped = support::failpoint::Inject("image.mmap")
+                         ? MAP_FAILED
+                         : ::mmap(nullptr, static_cast<size_t>(st.st_size), PROT_READ,
+                                  MAP_PRIVATE, fd, 0);
       if (mapped != MAP_FAILED) {
         file.mapped_ = static_cast<char*>(mapped);
         file.size_ = static_cast<size_t>(st.st_size);

@@ -8,13 +8,18 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/support/durable_file.h"
+#include "src/support/failpoint.h"
+
 namespace pathalias {
 namespace incr {
 namespace {
 
 namespace fs = std::filesystem;
 
-constexpr int kManifestVersion = 1;
+// v1: local / ignore_case / files.  v2 adds a generation line (the image publish
+// generation) between ignore_case and files; v1 loads back as generation 0.
+constexpr int kManifestVersion = 2;
 
 // Slot index + digest of the serialized bytes: content-addressed, so a re-save
 // never overwrites a payload an older manifest still references (unless the bytes
@@ -26,26 +31,17 @@ std::string ArtifactFileName(size_t index, uint64_t bytes_digest) {
   return name;
 }
 
-bool WriteWholeFile(const fs::path& path, std::string_view bytes) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  out.close();
-  return out.good();
-}
-
-// Temp-then-rename, so a crash mid-write leaves the previous version intact.
+// Durable temp + fsync + rename + parent-dir fsync: a crash mid-save leaves the
+// previous version intact, and a completed save survives power loss.
 bool WriteFileAtomically(const fs::path& path, std::string_view bytes) {
-  fs::path temp = path;
-  temp += ".tmp";
-  if (!WriteWholeFile(temp, bytes)) {
-    return false;
-  }
-  std::error_code ec;
-  fs::rename(temp, path, ec);
-  return !ec;
+  std::string error;
+  return support::PublishFileDurably(path.string(), bytes, "state.publish", &error);
 }
 
 std::optional<std::string> ReadWholeFile(const fs::path& path) {
+  if (support::failpoint::Inject("state.read")) {
+    return std::nullopt;
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return std::nullopt;
@@ -74,6 +70,7 @@ bool SaveStateDir(const std::string& dir, const StateDirContents& contents) {
   manifest += "pathalias-state " + std::to_string(kManifestVersion) + "\n";
   manifest += "local\t" + contents.local + "\n";
   manifest += "ignore_case\t" + std::string(contents.ignore_case ? "1" : "0") + "\n";
+  manifest += "generation\t" + std::to_string(contents.image_generation) + "\n";
   manifest += "files\t" + std::to_string(contents.artifacts.size()) + "\n";
   for (size_t i = 0; i < contents.artifacts.size(); ++i) {
     const FileArtifact& artifact = contents.artifacts[i];
@@ -118,8 +115,12 @@ std::optional<StateDirContents> LoadStateDir(const std::string& dir, std::string
   std::istringstream in(*manifest);
   std::string word;
   int version = 0;
-  if (!(in >> word >> version) || word != "pathalias-state" || version != kManifestVersion) {
+  if (!(in >> word >> version) || word != "pathalias-state" || version < 1) {
     return fail("unrecognized manifest header");
+  }
+  if (version > kManifestVersion) {
+    return fail("manifest version " + std::to_string(version) +
+                " is newer than this binary understands — rebuild the state dir");
   }
   StateDirContents contents;
   std::string line;
@@ -143,6 +144,16 @@ std::optional<StateDirContents> LoadStateDir(const std::string& dir, std::string
     return fail("manifest missing ignore_case");
   }
   contents.ignore_case = field == "1";
+  if (version >= 2) {
+    if (!next_field("generation", &field)) {
+      return fail("manifest missing generation");
+    }
+    try {
+      contents.image_generation = std::stoull(field);
+    } catch (...) {
+      return fail("malformed generation");
+    }
+  }
   if (!next_field("files", &field)) {
     return fail("manifest missing file count");
   }

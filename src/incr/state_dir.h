@@ -5,10 +5,16 @@
 //                       one line per input file — digest, artifact file, input name
 //   artifacts/NNNN.pai  serialized FileArtifact (src/incr/artifact.h), in file order
 //
-// The manifest is written last, via temp-file + rename, so a crashed save leaves the
-// previous state readable.  Digests live in both the manifest and the artifact
-// bodies; Load verifies they agree and rejects the directory wholesale on any
-// mismatch (a state dir is a cache — the inputs can always rebuild it).
+// The manifest is written last, via durable temp-file + fsync + rename (see
+// src/support/durable_file.h), so a crashed save leaves the previous state
+// readable.  Digests live in both the manifest and the artifact bodies; Load
+// verifies they agree and rejects the directory wholesale on any mismatch (a
+// state dir is a cache — the inputs can always rebuild it).
+//
+// Manifest format version 2 adds a `generation` line (the publish generation of
+// the image this state accompanies); version-1 directories still load, reading
+// back generation 0.  Unrecognized future versions are rejected with a clean
+// rebuild-needed error, never parsed on faith.
 //
 // Consumers: `pathalias --incremental <dir>` (skip lexing unchanged inputs across
 // invocations) and `routedb update <image> <changed-files...>` (which keeps the
@@ -29,6 +35,12 @@ namespace incr {
 struct StateDirContents {
   std::string local;        // the effective local host the state was built with
   bool ignore_case = false;
+  // Publish generation of the .pari image this state was saved alongside
+  // (ImageHeader::generation).  0 = unstamped: a v1 manifest, or a state dir
+  // that does not accompany an image.  Consumers that pair a state dir with an
+  // image (RolloverController, routedb update) compare the two stamps and
+  // treat a mismatch as a torn update — rebuild, never mix-and-match.
+  uint64_t image_generation = 0;
   std::vector<FileArtifact> artifacts;
 };
 

@@ -52,6 +52,18 @@ const std::string* ReplayBuffer::Find(const PeerAddress& peer,
   return it == replies_.end() ? nullptr : &it->second;
 }
 
+void ReplayBuffer::EvictOldest() {
+  auto it = replies_.find(order_.front());
+  if (it != replies_.end()) {
+    size_t entry_bytes = it->first.size() + it->second.size();
+    bytes_ -= entry_bytes;
+    evicted_bytes_ += entry_bytes;
+    ++evicted_entries_;
+    replies_.erase(it);
+  }
+  order_.pop_front();
+}
+
 void ReplayBuffer::Put(const PeerAddress& peer, uint64_t request_id,
                        std::string reply) {
   if (capacity_ == 0) {
@@ -60,13 +72,17 @@ void ReplayBuffer::Put(const PeerAddress& peer, uint64_t request_id,
   std::string key = KeyOf(peer, request_id);
   auto [it, inserted] = replies_.try_emplace(key, std::move(reply));
   if (!inserted) {
+    bytes_ -= it->second.size();
     it->second = std::move(reply);  // retransmit answered twice: keep the latest
-    return;
+    bytes_ += it->second.size();
+  } else {
+    bytes_ += it->first.size() + it->second.size();
+    order_.push_back(std::move(key));
   }
-  order_.push_back(std::move(key));
-  while (order_.size() > capacity_) {
-    replies_.erase(order_.front());
-    order_.pop_front();
+  while (order_.size() > capacity_ || (max_bytes_ != 0 && bytes_ > max_bytes_)) {
+    // Oldest first; a just-stored reply bigger than the whole budget is last in
+    // line and gets dropped too — the byte budget is a hard cap, not advisory.
+    EvictOldest();
   }
 }
 

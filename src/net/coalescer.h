@@ -15,10 +15,12 @@
 // kReplyFlagReplayed OR'd in — the resolve is not repeated, and a client that
 // missed the first reply cannot observe a different answer computed after a map
 // rollover (the at-most-once answer property the linearizability test leans on).
-// Bounded FIFO: `capacity` entries, oldest evicted first; a replay miss after
-// eviction falls through to a fresh resolve, which is still correct — just not
-// guaranteed byte-identical across a rollover, matching UDP's at-least-once
-// reality.
+// Bounded FIFO: `capacity` entries AND `max_bytes` of stored key+reply bytes,
+// oldest evicted first past either limit — entry count alone would let a few
+// thousand 64 KiB replies pin tens of MiB.  A replay miss after eviction falls
+// through to a fresh resolve, which is still correct — just not guaranteed
+// byte-identical across a rollover, matching UDP's at-least-once reality.
+// Evictions are counted (entries and bytes) for DaemonStats.
 
 #ifndef SRC_NET_COALESCER_H_
 #define SRC_NET_COALESCER_H_
@@ -70,23 +72,36 @@ class RequestCoalescer {
 
 class ReplayBuffer {
  public:
-  explicit ReplayBuffer(size_t capacity) : capacity_(capacity) {}
+  // `capacity` bounds entries; `max_bytes` bounds total stored key+reply bytes
+  // (0 = unlimited).  Either bound alone triggers FIFO eviction.
+  explicit ReplayBuffer(size_t capacity, size_t max_bytes = 0)
+      : capacity_(capacity), max_bytes_(max_bytes) {}
 
   // The stored reply for (peer, id), or nullptr.  The pointer is valid until the
   // next Put.
   const std::string* Find(const PeerAddress& peer, uint64_t request_id) const;
 
-  // Records the reply sent for (peer, id), evicting the oldest entry when full.
-  // A repeat Put for the same key (client retransmitted before we replied, and
-  // both got answered) overwrites in place.
+  // Records the reply sent for (peer, id), evicting oldest-first past either
+  // bound.  A repeat Put for the same key (client retransmitted before we
+  // replied, and both got answered) overwrites in place.  A single reply larger
+  // than the whole byte budget is not stored — the budget is a hard cap.
   void Put(const PeerAddress& peer, uint64_t request_id, std::string reply);
 
   size_t size() const { return replies_.size(); }
+  size_t bytes() const { return bytes_; }
+  // Monotonic totals since construction, for DaemonStats.
+  uint64_t evicted_entries() const { return evicted_entries_; }
+  uint64_t evicted_bytes() const { return evicted_bytes_; }
 
  private:
   static std::string KeyOf(const PeerAddress& peer, uint64_t request_id);
+  void EvictOldest();
 
   size_t capacity_;
+  size_t max_bytes_;
+  size_t bytes_ = 0;  // stored key + reply bytes across all live entries
+  uint64_t evicted_entries_ = 0;
+  uint64_t evicted_bytes_ = 0;
   std::unordered_map<std::string, std::string> replies_;
   std::deque<std::string> order_;  // insertion order of keys, for FIFO eviction
 };

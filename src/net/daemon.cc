@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 
 #include "src/support/io_retry.h"
@@ -67,7 +68,7 @@ void OrReplyFlag(std::string* datagram, uint16_t flag) {
 Daemon::Daemon(DaemonOptions options)
     : options_(std::move(options)),
       rollover_(options_.rollover),
-      replay_(options_.replay_entries) {}
+      replay_(options_.replay_entries, options_.replay_bytes) {}
 
 Daemon::~Daemon() {
   if (g_signal_pipe_fd == control_write_fd_) {
@@ -209,6 +210,18 @@ void Daemon::DrainSocket(DatagramSocket* socket) {
       SendReply(reply_buffer_, peer);
       continue;
     }
+    if (options_.max_queries_per_turn > 0 &&
+        coalescer_.total_queries() + request.queries.size() >
+            options_.max_queries_per_turn) {
+      // Shed: answer "overloaded" now instead of letting the batch (and this
+      // turn's latency) grow without bound.  NOT recorded in the replay buffer
+      // — the client retransmits the same id and gets a real answer once the
+      // flood subsides.
+      ++stats_.overload_replies;
+      EncodeOverloadReply(request.request_id, &reply_buffer_);
+      SendReply(reply_buffer_, peer);
+      continue;
+    }
     coalescer_.Add(peer, request.request_id, request.queries);
   }
 }
@@ -276,45 +289,52 @@ void Daemon::SendReply(std::string_view datagram, const PeerAddress& peer) {
 
 void Daemon::Housekeeping() {
   std::string detail;
-  if (reload_requested_) {
-    reload_requested_ = false;
-    ++stats_.reloads_attempted;
-    // HUP means "re-read the sources" when they are configured; a daemon serving
-    // an externally-updated image treats HUP as "check the image right now".
-    ReloadOutcome outcome = options_.rollover.map_files.empty()
-                                ? rollover_.CheckImage(&detail)
-                                : rollover_.ReloadFromSources(&detail);
+  // Counts a reload outcome and — crucially for a failed rollover — logs the
+  // detail instead of discarding it.  A failed reload is NOT fatal: the old map
+  // keeps serving, the error is visible, and the image watch (or the next HUP)
+  // retries, so a transiently bad publish heals without operator intervention.
+  auto account = [&](const char* trigger, ReloadOutcome outcome) {
     switch (outcome) {
       case ReloadOutcome::kApplied:
         ++stats_.reloads_applied;
+        if (options_.log_reloads) {
+          std::fprintf(stderr, "routedbd: reload (%s) applied\n", trigger);
+        }
         break;
       case ReloadOutcome::kNoop:
         ++stats_.reloads_noop;
         break;
       case ReloadOutcome::kError:
         ++stats_.reload_errors;
+        if (options_.log_reloads) {
+          std::fprintf(stderr,
+                       "routedbd: reload (%s) failed, still serving the old map: %s\n",
+                       trigger, detail.c_str());
+        }
         break;
     }
+  };
+  if (reload_requested_) {
+    reload_requested_ = false;
+    ++stats_.reloads_attempted;
+    // HUP means "re-read the sources" when they are configured; a daemon serving
+    // an externally-updated image treats HUP as "check the image right now".
+    account("SIGHUP", options_.rollover.map_files.empty()
+                          ? rollover_.CheckImage(&detail)
+                          : rollover_.ReloadFromSources(&detail));
   }
   if (options_.watch_interval_ms > 0) {
     int64_t now = SteadyNowMs();
     if (now >= next_watch_ms_) {
       next_watch_ms_ = now + options_.watch_interval_ms;
       ++stats_.reloads_attempted;
-      switch (rollover_.CheckImage(&detail)) {
-        case ReloadOutcome::kApplied:
-          ++stats_.reloads_applied;
-          break;
-        case ReloadOutcome::kNoop:
-          ++stats_.reloads_noop;
-          break;
-        case ReloadOutcome::kError:
-          ++stats_.reload_errors;
-          break;
-      }
+      account("watch", rollover_.CheckImage(&detail));
     }
   }
   stats_.images_retired += rollover_.RetireDrained();
+  stats_.replay_bytes = replay_.bytes();
+  stats_.replay_evictions = replay_.evicted_entries();
+  stats_.replay_evicted_bytes = replay_.evicted_bytes();
 }
 
 bool Daemon::PollOnce(int timeout_ms) {

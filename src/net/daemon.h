@@ -48,7 +48,18 @@ struct DaemonOptions {
   int udp_port = -1;              // -1 disabled, 0 ephemeral, else the port
   size_t max_reply_bytes = kMaxDatagramBytes;  // per-reply budget (clamped by wire.cc)
   size_t replay_entries = 1024;   // dedup replay buffer capacity (0 disables dedup)
+  size_t replay_bytes = 4 * 1024 * 1024;  // replay buffer byte budget (0 = unlimited)
+  // Load shedding: once a turn's coalesced batch holds this many queries,
+  // further requests this turn get a header-only kReplyFlagOverloaded reply
+  // instead of joining the batch (0 = never shed).  An explicit "back off and
+  // retry" beats a silent drop: the client stops burning its timeout, and the
+  // daemon's turn latency stays bounded under a flood.
+  size_t max_queries_per_turn = 16384;
   int watch_interval_ms = 1000;   // external-image poll cadence; <= 0 disables
+  // Log reload outcomes (and their error detail) to stderr.  Off in tests —
+  // routedbd turns it on so a failed rollover is visible in the daemon log, not
+  // just a counter.
+  bool log_reloads = false;
 };
 
 class Daemon {

@@ -7,6 +7,7 @@
 #include "src/image/image_writer.h"
 #include "src/incr/state_dir.h"
 #include "src/parser/parser.h"
+#include "src/support/failpoint.h"
 
 namespace pathalias {
 namespace net {
@@ -47,6 +48,7 @@ bool RolloverController::Start(std::string* error) {
     return false;
   }
   current_ = std::make_unique<FrozenImage>(std::move(*image));
+  image_generation_ = current_->view().header().generation;
   engine_ = std::make_unique<exec::FrozenBatchEngine>(&current_->routes(), options_.engine);
   StatImage(&identity_);  // best-effort: a failed stat just means CheckImage re-opens
   return true;
@@ -62,6 +64,21 @@ bool RolloverController::EnsureBuilder(std::string* detail) {
   if (!state.has_value()) {
     *detail = "cannot load " + state_dir + " (" + error +
               "); run `routedb update --init` before HUP-reloading";
+    return false;
+  }
+  // Generation agreement: the state dir must be the one published with the
+  // image being served.  A disagreement means the last publish tore between
+  // the image rename and the manifest rename — the state's NameId assignment
+  // may not match the image's, and building on it could make AdoptRoutes adopt
+  // routes keyed by the wrong ids.  Refuse; the old map keeps serving, and
+  // `routedb update` (which re-freezes the whole image) heals the pairing.
+  // Stamps of 0 are pre-generation files and can't be checked.
+  if (state->image_generation != 0 && image_generation_ != 0 &&
+      state->image_generation != image_generation_) {
+    *detail = "generation mismatch: " + state_dir + " is generation " +
+              std::to_string(state->image_generation) + " but the served image is " +
+              std::to_string(image_generation_) +
+              " (torn update?); run `routedb update` to republish both";
     return false;
   }
   incr::MapBuilderOptions builder_options;
@@ -107,17 +124,37 @@ ReloadOutcome RolloverController::ReloadFromSources(std::string* detail) {
     return ReloadOutcome::kError;
   }
   if (builder_->dirty_route_ids().empty()) {
+    // No source change — but if a previous reload published the image and then
+    // failed to reopen it, the file on disk is ahead of the map being served.
+    // Reconcile through the image-diff path rather than reporting a no-op that
+    // would strand the old map until the next source edit.
+    ImageIdentity now;
+    if (StatImage(&now) && !(now == identity_)) {
+      return CheckImage(detail);
+    }
     *detail = "no route changed (" + std::to_string(stats.files_unchanged) +
               " file(s) digest-unchanged)";
     return ReloadOutcome::kNoop;
   }
-  if (!image::ImageWriter::Refreeze(builder_->routes(), options_.image_path)) {
-    *detail = "cannot rewrite " + options_.image_path;
+  // Publish image first, then state, both stamped with the same generation: a
+  // crash between the two leaves the image ahead of the state, which the next
+  // EnsureBuilder detects as a mismatch instead of serving a mixed pair.
+  const uint64_t next_generation = image_generation_ + 1;
+  std::string error;
+  if (!image::ImageWriter::Refreeze(builder_->routes(), options_.image_path,
+                                    next_generation, &error)) {
+    // The builder already absorbed the file changes, so a retry would see
+    // digest-clean sources and no-op with the publish still missing.  Drop it:
+    // the next reload rebuilds from the state dir (still paired with the served
+    // image) and re-applies the edits as a fresh update.
+    builder_.reset();
+    *detail = "cannot rewrite " + options_.image_path + ": " + error;
     return ReloadOutcome::kError;
   }
   incr::StateDirContents contents;
   contents.local = builder_->options().local;
   contents.ignore_case = builder_->options().ignore_case;
+  contents.image_generation = next_generation;
   contents.artifacts = builder_->artifacts();
   if (!incr::SaveStateDir(options_.image_path + ".state", contents)) {
     // The image is already rewritten and sound; a stale state dir only costs the
@@ -126,7 +163,10 @@ ReloadOutcome RolloverController::ReloadFromSources(std::string* detail) {
   } else {
     detail->clear();
   }
-  std::string error;
+  if (support::failpoint::Inject("rollover.reopen")) {
+    *detail += "refrozen image fails to open: injected failure (rollover.reopen)";
+    return ReloadOutcome::kError;
+  }
   auto fresh = FrozenImage::Open(options_.image_path, image::ImageView::Verify::kStructure,
                                  &error, /*readahead=*/true);
   if (!fresh.has_value()) {
@@ -149,6 +189,12 @@ ReloadOutcome RolloverController::CheckImage(std::string* detail) {
   if (now == identity_) {
     *detail = "image unchanged";
     return ReloadOutcome::kNoop;
+  }
+  if (support::failpoint::Inject("rollover.reopen")) {
+    // identity_ is deliberately NOT updated: the next watch tick sees the same
+    // changed file and retries the open — transient failures self-heal.
+    *detail = "changed image fails to open: injected failure (rollover.reopen)";
+    return ReloadOutcome::kError;
   }
   std::string error;
   auto opened = FrozenImage::Open(options_.image_path, image::ImageView::Verify::kStructure,
@@ -188,6 +234,7 @@ ReloadOutcome RolloverController::CheckImage(std::string* detail) {
     std::unique_ptr<FrozenImage> old = std::move(current_);
     uint64_t mark = engine_->batches_started();
     current_ = std::move(fresh);
+    image_generation_ = current_->view().header().generation;
     engine_ = std::make_unique<exec::FrozenBatchEngine>(&current_->routes(), options_.engine);
     retired_.push_back({std::move(old), mark});
     identity_ = now;
@@ -222,6 +269,7 @@ void RolloverController::Swap(std::unique_ptr<FrozenImage> fresh,
   uint64_t mark = engine_->batches_started();
   std::unique_ptr<FrozenImage> old = std::move(current_);
   current_ = std::move(fresh);
+  image_generation_ = current_->view().header().generation;
   engine_->AdoptRoutes(&current_->routes(), dirty);
   retired_.push_back({std::move(old), mark});
   StatImage(&identity_);

@@ -102,6 +102,10 @@ class RolloverController {
   // Monotonic count of successful swaps — lets a test or stats line observe that a
   // rollover actually happened.
   uint64_t generation() const { return generation_; }
+  // The publish generation stamped in the image being served
+  // (ImageHeader::generation; 0 for pre-stamp images).  The HUP path refuses a
+  // <image>.state whose stamp disagrees — see EnsureBuilder.
+  uint64_t image_generation() const { return image_generation_; }
 
  private:
   struct ImageIdentity {
@@ -120,7 +124,11 @@ class RolloverController {
   // stat() the served path into *out; false if it cannot be stat'd.
   bool StatImage(ImageIdentity* out) const;
   // Loads <image>.state into the resident builder (first HUP only); false + detail
-  // on failure.
+  // on failure.  Refuses a state dir whose generation stamp disagrees with the
+  // served image's — that pairing only arises from a torn update (crash between
+  // the image rename and the manifest rename), and updating from mismatched
+  // state would hand AdoptRoutes NameIds from a different id universe: the
+  // "serve garbage" failure this PR exists to close.  The old map keeps serving.
   bool EnsureBuilder(std::string* detail);
   // Installs `fresh` as the serving image: AdoptRoutes with `dirty`, queue the old
   // image for retirement, refresh the identity record.
@@ -133,6 +141,7 @@ class RolloverController {
   ImageIdentity identity_;                     // what is being served
   std::deque<RetiredImage> retired_;
   uint64_t generation_ = 0;
+  uint64_t image_generation_ = 0;  // ImageHeader::generation of current_
 };
 
 }  // namespace net

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/support/failpoint.h"
 #include "src/support/io_retry.h"
 
 namespace pathalias {
@@ -147,6 +148,15 @@ PeerAddress DatagramSocket::UdpPeer(uint32_t ipv4_host_order, uint16_t port) {
 ssize_t DatagramSocket::Recv(char* buffer, size_t capacity, PeerAddress* from,
                              bool* got_one, std::string* error) {
   from->length = static_cast<socklen_t>(sizeof(from->storage));
+  if (support::failpoint::Inject("net.recv")) {
+    // Simulates a spuriously-failing recv; EAGAIN-family errno reads as "socket
+    // drained" (datagram lost in the kernel), anything else as a real error.
+    *got_one = false;
+    if (errno != EAGAIN && errno != EWOULDBLOCK) {
+      SetError(error, "recvfrom");
+    }
+    return -1;
+  }
   ssize_t n = support::RetryEintr([&] {
     from->length = static_cast<socklen_t>(sizeof(from->storage));
     return ::recvfrom(fd_, buffer, capacity, 0, from->addr(), &from->length);
@@ -165,6 +175,11 @@ ssize_t DatagramSocket::Recv(char* buffer, size_t capacity, PeerAddress* from,
 bool DatagramSocket::SendTo(std::string_view datagram, const PeerAddress& to,
                             bool* dropped, std::string* error) {
   *dropped = false;
+  if (support::failpoint::Inject("net.send")) {
+    // A lost datagram: the client's retransmit discipline covers it.
+    *dropped = true;
+    return false;
+  }
   ssize_t n = support::RetryEintr([&] {
     return ::sendto(fd_, datagram.data(), datagram.size(), 0, to.addr(), to.length);
   });

@@ -23,6 +23,11 @@ struct DaemonStats {
   uint64_t requests = 0;           // well-formed requests accepted (dedup included)
   uint64_t duplicate_requests = 0; // answered from the replay buffer, no resolve
   uint64_t truncated_replies = 0;  // replies sent with kReplyFlagTruncated
+  uint64_t overload_replies = 0;   // requests shed with kReplyFlagOverloaded
+  // Replay buffer (synced from ReplayBuffer once per turn).
+  uint64_t replay_bytes = 0;           // current stored key+reply bytes
+  uint64_t replay_evictions = 0;       // entries evicted by count or byte budget
+  uint64_t replay_evicted_bytes = 0;   // bytes those evictions released
   // Resolution.
   uint64_t batches = 0;            // ResolveBatch calls (the coalescing ratio is
                                    // queries / batches vs queries / requests)
@@ -44,7 +49,11 @@ struct DaemonStats {
            " " + line("bad_datagrams", bad_datagrams) + " " +
            line("send_drops", send_drops) + " " + line("requests", requests) + " " +
            line("duplicate_requests", duplicate_requests) + " " +
-           line("truncated_replies", truncated_replies) + " " + line("batches", batches) +
+           line("truncated_replies", truncated_replies) + " " +
+           line("overload_replies", overload_replies) + " " +
+           line("replay_bytes", replay_bytes) + " " +
+           line("replay_evictions", replay_evictions) + " " +
+           line("replay_evicted_bytes", replay_evicted_bytes) + " " + line("batches", batches) +
            " " + line("queries", queries) + " " + line("resolved", resolved) + " " +
            line("malformed_queries", malformed_queries) + " " +
            line("reloads_attempted", reloads_attempted) + " " +

@@ -186,6 +186,19 @@ void EncodeBadRequestReply(uint64_t request_id, std::string* out) {
   AppendHeader(out, header);
 }
 
+void EncodeOverloadReply(uint64_t request_id, std::string* out) {
+  WireHeader header{};
+  header.magic = kReplyMagic;
+  header.version = kWireVersion;
+  header.flags = kReplyFlagOverloaded;
+  header.request_id = request_id;
+  header.count = 0;
+  header.query_count = 0;
+  header.reserved = 0;
+  out->clear();
+  AppendHeader(out, header);
+}
+
 bool DecodeReply(std::string_view datagram, DecodedReply* out, std::string* error) {
   auto fail = [&](const char* why) {
     if (error != nullptr) {

@@ -55,6 +55,9 @@ constexpr size_t kMaxDatagramBytes = 64 * 1024;
 constexpr uint16_t kReplyFlagTruncated = 1u << 0;   // count < query_count: re-ask the tail
 constexpr uint16_t kReplyFlagReplayed = 1u << 1;    // served from the dedup replay buffer
 constexpr uint16_t kReplyFlagBadRequest = 1u << 2;  // request undecodable; count == 0
+constexpr uint16_t kReplyFlagOverloaded = 1u << 3;  // daemon shed this request; count == 0,
+                                                    // nothing was resolved — back off and
+                                                    // retransmit the SAME id later
 
 // Per-result status.
 enum ResultStatus : uint8_t {
@@ -125,6 +128,12 @@ size_t EncodeReply(uint64_t request_id, uint16_t flags, size_t query_count,
 
 // Header-only bad-request reply (count == 0, kReplyFlagBadRequest).
 void EncodeBadRequestReply(uint64_t request_id, std::string* out);
+
+// Header-only overload reply (count == 0, kReplyFlagOverloaded): the daemon is
+// shedding load and answered nothing.  Deliberately NOT a silent drop — the
+// client learns immediately that it should back off instead of burning its
+// timeout, and retransmits the same id once the daemon catches up.
+void EncodeOverloadReply(uint64_t request_id, std::string* out);
 
 // Decodes a reply datagram; same validation discipline as DecodeRequest.
 bool DecodeReply(std::string_view datagram, DecodedReply* out, std::string* error);

@@ -1,0 +1,257 @@
+#include "src/support/failpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace pathalias {
+namespace support {
+namespace failpoint {
+
+namespace detail {
+std::atomic<uint32_t> g_armed_count{0};
+}  // namespace detail
+
+namespace {
+
+enum class Mode : uint8_t { kOff, kOnce, kAlways, kNth, kEvery, kTimes };
+
+struct Entry {
+  Mode mode = Mode::kOff;
+  uint64_t n = 0;        // parameter for kNth / kEvery / kTimes
+  int error_number = EIO;
+  bool armed = false;    // counts toward g_armed_count
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Entry> entries;
+};
+
+// Leaked on purpose: failpoints may be consulted from static destructors.
+Registry& TheRegistry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+bool ShouldFire(Entry& e) {
+  ++e.hits;
+  switch (e.mode) {
+    case Mode::kOff:
+      return false;
+    case Mode::kOnce:
+      return e.hits == 1;
+    case Mode::kAlways:
+      return true;
+    case Mode::kNth:
+      return e.hits == e.n;
+    case Mode::kEvery:
+      return e.n != 0 && e.hits % e.n == 0;
+    case Mode::kTimes:
+      return e.hits <= e.n;
+  }
+  return false;
+}
+
+bool ParseUint(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    if (value > (UINT64_MAX - static_cast<uint64_t>(c - '0')) / 10) return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseErrno(std::string_view text, int* out) {
+  static const struct { const char* name; int value; } kNames[] = {
+      {"EIO", EIO},       {"ENOSPC", ENOSPC}, {"ENOENT", ENOENT},
+      {"EACCES", EACCES}, {"EAGAIN", EAGAIN}, {"EINTR", EINTR},
+      {"EMFILE", EMFILE}, {"ENOMEM", ENOMEM}, {"EPIPE", EPIPE},
+      {"EINVAL", EINVAL}, {"EROFS", EROFS},   {"EDQUOT", EDQUOT},
+      {"EFBIG", EFBIG},   {"ENXIO", ENXIO},   {"EBADF", EBADF},
+      {"ECONNREFUSED", ECONNREFUSED},         {"EMSGSIZE", EMSGSIZE},
+  };
+  for (const auto& k : kNames) {
+    if (text == k.name) {
+      *out = k.value;
+      return true;
+    }
+  }
+  uint64_t raw = 0;
+  if (ParseUint(text, &raw) && raw > 0 && raw < 4096) {
+    *out = static_cast<int>(raw);
+    return true;
+  }
+  return false;
+}
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+// Parses "mode[,errno:E]" into *out (counters untouched).  The schedule
+// grammar is documented in failpoint.h.
+bool ParseSchedule(std::string_view schedule, Entry* out, std::string* error) {
+  Entry e;
+  bool saw_mode = false;
+  std::string_view rest = schedule;
+  while (!rest.empty()) {
+    size_t comma = rest.find(',');
+    std::string_view part = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (part.empty()) continue;
+
+    if (part.substr(0, 6) == "errno:") {
+      if (!ParseErrno(part.substr(6), &e.error_number)) {
+        SetError(error, "failpoint: unknown errno '" + std::string(part.substr(6)) + "'");
+        return false;
+      }
+      continue;
+    }
+
+    size_t colon = part.find(':');
+    std::string_view mode_name = part.substr(0, colon);
+    std::string_view arg = colon == std::string_view::npos ? std::string_view{} : part.substr(colon + 1);
+    uint64_t n = 0;
+    if (mode_name == "off" && arg.empty()) {
+      e.mode = Mode::kOff;
+    } else if (mode_name == "once" && arg.empty()) {
+      e.mode = Mode::kOnce;
+    } else if (mode_name == "always" && arg.empty()) {
+      e.mode = Mode::kAlways;
+    } else if (mode_name == "nth" && ParseUint(arg, &n) && n > 0) {
+      e.mode = Mode::kNth;
+      e.n = n;
+    } else if (mode_name == "every" && ParseUint(arg, &n) && n > 0) {
+      e.mode = Mode::kEvery;
+      e.n = n;
+    } else if (mode_name == "times" && ParseUint(arg, &n) && n > 0) {
+      e.mode = Mode::kTimes;
+      e.n = n;
+    } else {
+      SetError(error, "failpoint: bad schedule term '" + std::string(part) + "'");
+      return false;
+    }
+    saw_mode = true;
+  }
+  if (!saw_mode) {
+    SetError(error, "failpoint: empty schedule");
+    return false;
+  }
+  *out = e;
+  return true;
+}
+
+}  // namespace
+
+namespace detail {
+
+bool InjectSlow(std::string_view name) {
+  Registry& r = TheRegistry();
+  int fire_errno = 0;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.entries.find(std::string(name));
+    if (it == r.entries.end() || !it->second.armed) return false;
+    Entry& e = it->second;
+    if (!ShouldFire(e)) return false;
+    ++e.fires;
+    fire_errno = e.error_number;
+  }
+  errno = fire_errno;
+  return true;
+}
+
+}  // namespace detail
+
+bool Arm(std::string_view name, std::string_view schedule, std::string* error) {
+  if (name.empty()) {
+    SetError(error, "failpoint: empty name");
+    return false;
+  }
+  Entry parsed;
+  if (!ParseSchedule(schedule, &parsed, error)) return false;
+  parsed.armed = true;
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Entry& slot = r.entries[std::string(name)];
+  if (!slot.armed) detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  slot = parsed;
+  return true;
+}
+
+bool ArmFromSpec(std::string_view spec, std::string* error) {
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    size_t semi = rest.find(';');
+    std::string_view item = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{} : rest.substr(semi + 1);
+    // Trim spaces so "a=once; b=always" reads naturally.
+    while (!item.empty() && (item.front() == ' ' || item.front() == '\t')) item.remove_prefix(1);
+    while (!item.empty() && (item.back() == ' ' || item.back() == '\t')) item.remove_suffix(1);
+    if (item.empty()) continue;
+    size_t eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      SetError(error, "failpoint: expected name=schedule in '" + std::string(item) + "'");
+      return false;
+    }
+    if (!Arm(item.substr(0, eq), item.substr(eq + 1), error)) return false;
+  }
+  return true;
+}
+
+size_t ArmFromEnv() {
+  const char* spec = std::getenv("PATHALIAS_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return 0;
+  std::string error;
+  if (!ArmFromSpec(spec, &error)) {
+    std::fprintf(stderr, "warning: PATHALIAS_FAILPOINTS: %s\n", error.c_str());
+  }
+  return detail::g_armed_count.load(std::memory_order_relaxed);
+}
+
+void Disarm(std::string_view name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(std::string(name));
+  if (it == r.entries.end() || !it->second.armed) return;
+  it->second.armed = false;
+  detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void Reset() {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  uint32_t armed = 0;
+  for (const auto& [name, e] : r.entries) {
+    if (e.armed) ++armed;
+  }
+  r.entries.clear();
+  detail::g_armed_count.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+uint64_t Hits(std::string_view name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(std::string(name));
+  return it == r.entries.end() ? 0 : it->second.hits;
+}
+
+uint64_t Fires(std::string_view name) {
+  Registry& r = TheRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.entries.find(std::string(name));
+  return it == r.entries.end() ? 0 : it->second.fires;
+}
+
+}  // namespace failpoint
+}  // namespace support
+}  // namespace pathalias

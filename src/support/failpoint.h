@@ -1,0 +1,87 @@
+// Failpoints: named fault-injection sites for everything syscall-adjacent.
+//
+// A failpoint is a name checked at a fallible site ("image.publish.rename",
+// "net.send", ...).  Production never arms any, so the cost of a site is ONE
+// relaxed atomic load and a predicted-not-taken branch — the global armed count
+// is zero and Inject() returns false before the name is even looked at.  Tests
+// and chaos harnesses arm schedules by name, programmatically or through the
+// PATHALIAS_FAILPOINTS environment variable, and the armed site then simulates
+// the failure deterministically: Inject() returns true with errno set to the
+// configured value, and the call site takes exactly the error path a real
+// short write / failed rename / ENOSPC would have taken.
+//
+// Schedules (deterministic — runs replay exactly given the same arming):
+//   off        never fire (keeps the hit counter running)
+//   once       fire on the 1st hit after arming, then never again
+//   always     fire on every hit
+//   nth:N      fire exactly on the Nth hit (1-based), once
+//   every:N    fire on every Nth hit (N, 2N, 3N, ...)
+//   times:N    fire on the first N hits
+// plus an optional errno override: "errno:ENOSPC" (or a raw number).  Default
+// injected errno is EIO.  Hits are counted from the moment of arming.
+//
+// Spec strings (the env-var form): semicolon-separated entries, each
+// "name=schedule[,errno:E]", e.g.
+//   PATHALIAS_FAILPOINTS="image.publish.rename=nth:2,errno:ENOSPC;net.send=every:3"
+//
+// Thread-safety: the fast path is a relaxed atomic; everything behind it takes
+// one global mutex, so arming/inspecting from a test thread while a daemon
+// thread hits sites is safe (and TSan-clean).
+
+#ifndef SRC_SUPPORT_FAILPOINT_H_
+#define SRC_SUPPORT_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pathalias {
+namespace support {
+namespace failpoint {
+
+namespace detail {
+extern std::atomic<uint32_t> g_armed_count;  // failpoints currently armed
+bool InjectSlow(std::string_view name);
+}  // namespace detail
+
+// The site check.  True means "simulate failure here" — errno has been set to
+// the schedule's errno and the fire was counted.  False costs one relaxed load
+// when nothing is armed anywhere in the process.
+inline bool Inject(std::string_view name) {
+  if (detail::g_armed_count.load(std::memory_order_relaxed) == 0) [[likely]] {
+    return false;
+  }
+  return detail::InjectSlow(name);
+}
+
+// Arms `name` with `schedule` (grammar above).  False with *error on a
+// malformed schedule.  Re-arming an armed name replaces its schedule and
+// resets its hit/fire counters.
+bool Arm(std::string_view name, std::string_view schedule, std::string* error = nullptr);
+
+// Arms every "name=schedule" entry in a semicolon-separated list.  False with
+// *error on the first malformed entry (earlier entries stay armed).
+bool ArmFromSpec(std::string_view spec, std::string* error = nullptr);
+
+// Arms from $PATHALIAS_FAILPOINTS if set.  Returns the number of failpoints
+// armed; complains to stderr (and keeps going) on a malformed spec, because a
+// tool must not turn a typo'd chaos schedule into silent no-chaos.
+size_t ArmFromEnv();
+
+// Disarms `name` (its counters remain readable until Reset).
+void Disarm(std::string_view name);
+
+// Disarms everything and forgets all counters — test-teardown hygiene.
+void Reset();
+
+// Counters for assertions: hits = Inject() calls while armed (or off),
+// fires = hits that returned true.  Unknown names read as zero.
+uint64_t Hits(std::string_view name);
+uint64_t Fires(std::string_view name);
+
+}  // namespace failpoint
+}  // namespace support
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_FAILPOINT_H_

@@ -33,6 +33,7 @@
 #include "src/core/route_printer.h"
 #include "src/incr/map_builder.h"
 #include "src/incr/state_dir.h"
+#include "src/support/failpoint.h"
 
 namespace {
 
@@ -51,6 +52,7 @@ std::string ReadStream(std::istream& in) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  pathalias::support::failpoint::ArmFromEnv();
   pathalias::RunOptions options;
   std::vector<std::string> dead_args;
   std::vector<std::string> file_names;

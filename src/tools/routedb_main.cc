@@ -68,6 +68,7 @@
 
 #include "src/exec/batch_engine.h"
 #include "src/image/frozen_route_set.h"
+#include "src/image/image_format.h"
 #include "src/image/image_writer.h"
 #include "src/incr/map_builder.h"
 #include "src/incr/state_dir.h"
@@ -75,6 +76,7 @@
 #include "src/net/wire.h"
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
+#include "src/support/failpoint.h"
 
 namespace {
 
@@ -91,6 +93,23 @@ int Usage() {
                "       routedb query (--socket PATH | --port UDPPORT) [--timeout MS] "
                "[--retries N] [--id ID] <host>...\n";
   return 2;
+}
+
+// The publish generation stamped in an existing image's header, or nullopt when
+// the file is missing/short/not a .pari image.  Pre-generation images read 0.
+std::optional<uint64_t> ReadImageGeneration(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  pathalias::image::ImageHeader header;
+  if (!in.read(reinterpret_cast<char*>(&header), sizeof(header))) {
+    return std::nullopt;
+  }
+  if (header.magic != pathalias::image::kMagic) {
+    return std::nullopt;
+  }
+  return header.generation;
 }
 
 // The batch execution knobs, shared by the live and --image paths.
@@ -389,13 +408,31 @@ int RunUpdate(int argc, char** argv) {
       std::cerr << "routedb: update left no buildable map\n";
       return 1;
     }
-    if (!pathalias::image::ImageWriter::Refreeze(builder.routes(), image_path)) {
-      std::cerr << "routedb: cannot rewrite " << image_path << "\n";
+    // Generation pairing.  A state stamp that disagrees with the image's means
+    // the previous publish tore between the two renames; that is safe to heal
+    // here — this update re-freezes the WHOLE image from the state just loaded,
+    // so both files leave this run paired — but the operator should know.
+    std::optional<uint64_t> image_generation = ReadImageGeneration(image_path);
+    if (image_generation.has_value() && *image_generation != 0 &&
+        state->image_generation != 0 && *image_generation != state->image_generation) {
+      std::cerr << "routedb: warning: " << image_path << " is generation "
+                << *image_generation << " but " << state_dir << " is generation "
+                << state->image_generation
+                << " (torn update?); republishing both in step\n";
+    }
+    uint64_t next_generation =
+        std::max(image_generation.value_or(0), state->image_generation) + 1;
+    std::string publish_error;
+    if (!pathalias::image::ImageWriter::Refreeze(builder.routes(), image_path,
+                                                 next_generation, &publish_error)) {
+      std::cerr << "routedb: cannot rewrite " << image_path << ": " << publish_error
+                << "\n";
       return 1;
     }
     pathalias::incr::StateDirContents contents;
     contents.local = builder.options().local;
     contents.ignore_case = builder.options().ignore_case;
+    contents.image_generation = next_generation;
     contents.artifacts = builder.artifacts();
     if (!pathalias::incr::SaveStateDir(state_dir, contents)) {
       std::cerr << "routedb: cannot save " << state_dir << "\n";
@@ -442,13 +479,16 @@ int RunUpdate(int argc, char** argv) {
     std::cerr << "routedb: no routes could be built\n";
     return 1;
   }
-  if (!pathalias::image::ImageWriter::Refreeze(builder.routes(), image_path)) {
-    std::cerr << "routedb: cannot write " << image_path << "\n";
+  std::string publish_error;
+  if (!pathalias::image::ImageWriter::Refreeze(builder.routes(), image_path,
+                                               /*generation=*/1, &publish_error)) {
+    std::cerr << "routedb: cannot write " << image_path << ": " << publish_error << "\n";
     return 1;
   }
   pathalias::incr::StateDirContents contents;
   contents.local = builder_options.local;
   contents.ignore_case = builder_options.ignore_case;
+  contents.image_generation = 1;
   contents.artifacts = builder.artifacts();
   if (!pathalias::incr::SaveStateDir(state_dir, contents)) {
     std::cerr << "routedb: cannot save " << state_dir << "\n";
@@ -588,6 +628,14 @@ int RunQuery(int argc, char** argv) {
       if (!net::DecodeReply(datagram, &reply, &error) || reply.request_id != request_id) {
         continue;  // stray or stale datagram; keep waiting out this attempt's budget
       }
+      if ((reply.flags & net::kReplyFlagOverloaded) != 0) {
+        // The daemon shed this request under load: nothing was resolved.  Back
+        // off briefly and retransmit the SAME id (it is not in the daemon's
+        // replay buffer, so the retry gets a real resolve).  Costs an attempt,
+        // so a permanently-overloaded daemon still ends in "no reply".
+        ::usleep(static_cast<useconds_t>(std::min<uint64_t>(timeout_ms, 50) * 1000));
+        continue;
+      }
       got_reply = true;
     }
     if (!got_reply) {
@@ -652,6 +700,7 @@ bool ParseCount(const char* flag, const char* text, uint64_t max, uint64_t* out)
 }  // namespace
 
 int main(int argc, char** argv) {
+  pathalias::support::failpoint::ArmFromEnv();
   if (argc < 2) {
     return Usage();
   }

@@ -18,11 +18,19 @@
 // Usage:
 //   routedbd --image routes.pari --unix /run/routedb.sock [--udp PORT]
 //            [--map FILE]... [--threads N] [--cache-entries M]
-//            [--max-reply-bytes B] [--replay-entries R]
-//            [--watch-interval MS] [--ready-fd FD]
+//            [--max-reply-bytes B] [--replay-entries R] [--replay-bytes B]
+//            [--max-queries-per-turn Q] [--watch-interval MS] [--ready-fd FD]
 //
 // --ready-fd: a pipe fd the daemon writes one line to once it is serving
 // ("ready <udp-port>\n") — how the smoke test and scripts avoid sleep-loops.
+//
+// Overload: once a turn's coalesced batch reaches --max-queries-per-turn
+// queries, further requests that turn get a header-only overloaded reply
+// (back off and retransmit) instead of joining the batch.  0 disables.
+//
+// Fault injection: PATHALIAS_FAILPOINTS in the environment arms named
+// failpoints (see src/support/failpoint.h) for chaos testing, e.g.
+//   PATHALIAS_FAILPOINTS="rollover.reopen=nth:1" routedbd ...
 
 #include <unistd.h>
 
@@ -33,6 +41,7 @@
 #include <string>
 
 #include "src/net/daemon.h"
+#include "src/support/failpoint.h"
 #include "src/support/io_retry.h"
 
 namespace {
@@ -41,6 +50,7 @@ int Usage() {
   std::cerr << "usage: routedbd --image <routes.pari> [--unix PATH] [--udp PORT]\n"
                "                [--map FILE]... [--threads N] [--cache-entries M]\n"
                "                [--max-reply-bytes B] [--replay-entries R]\n"
+               "                [--replay-bytes B] [--max-queries-per-turn Q]\n"
                "                [--watch-interval MS] [--ready-fd FD]\n"
                "at least one of --unix / --udp is required\n";
   return 2;
@@ -60,8 +70,10 @@ bool ParseUint(const char* flag, const char* text, uint64_t max, uint64_t* out) 
 }  // namespace
 
 int main(int argc, char** argv) {
+  pathalias::support::failpoint::ArmFromEnv();
   pathalias::net::DaemonOptions options;
   options.udp_port = -1;
+  options.log_reloads = true;  // a daemon's failed rollover belongs in its log
   int ready_fd = -1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -112,6 +124,19 @@ int main(int argc, char** argv) {
         return Usage();
       }
       options.replay_entries = static_cast<size_t>(number);
+    } else if (arg == "--replay-bytes") {
+      const char* v = value("--replay-bytes");
+      if (v == nullptr || !ParseUint("--replay-bytes", v, uint64_t{1} << 32, &number)) {
+        return Usage();
+      }
+      options.replay_bytes = static_cast<size_t>(number);
+    } else if (arg == "--max-queries-per-turn") {
+      const char* v = value("--max-queries-per-turn");
+      if (v == nullptr ||
+          !ParseUint("--max-queries-per-turn", v, uint64_t{1} << 30, &number)) {
+        return Usage();
+      }
+      options.max_queries_per_turn = static_cast<size_t>(number);
     } else if (arg == "--watch-interval") {
       const char* v = value("--watch-interval");
       if (v == nullptr || !ParseUint("--watch-interval", v, 3600'000, &number)) {

@@ -14,6 +14,7 @@
 #include "src/image/image_writer.h"
 #include "src/route_db/resolver.h"
 #include "src/route_db/route_db.h"
+#include "src/support/failpoint.h"
 
 namespace pathalias {
 namespace {
@@ -313,6 +314,112 @@ TEST(FrozenImage, OpenRejectsMissingAndCorruptFiles) {
       FrozenImage::Open(path.string(), image::ImageView::Verify::kStructure, &error)
           .has_value());
   fs::remove(path);
+}
+
+TEST(ImageWriter, GenerationStampRoundTripsThroughTheFile) {
+  RouteSet routes = PaperRouteSet();
+  fs::path path = fs::temp_directory_path() /
+                  ("pathalias_image_gen_" + std::to_string(getpid()) + ".pari");
+  ASSERT_TRUE(image::ImageWriter::WriteFile(routes, path.string(), /*generation=*/17));
+  std::string error;
+  auto opened =
+      FrozenImage::Open(path.string(), image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(opened.has_value()) << error;
+  EXPECT_EQ(opened->view().header().generation, 17u);
+  // An unstamped freeze reads back as generation 0 (the legacy value).
+  std::string unstamped = image::ImageWriter::Freeze(routes);
+  auto view = Adopt(unstamped, image::ImageView::Verify::kChecksum);
+  ASSERT_TRUE(view.has_value());
+  EXPECT_EQ(view->header().generation, 0u);
+  fs::remove(path);
+}
+
+// Crash-safety regression (the historical bug was rename-without-fsync): an
+// injected failure at ANY publish step must leave the previously published
+// image fully intact and openable — never a short or torn file.
+class ImagePublishFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = fs::temp_directory_path() /
+            ("pathalias_image_fault_" + std::to_string(getpid()) + ".pari");
+    fs::remove(path_);
+    fs::remove(path_.string() + ".tmp");
+    routes_ = PaperRouteSet();
+    ASSERT_TRUE(image::ImageWriter::WriteFile(routes_, path_.string(), /*generation=*/1));
+  }
+  void TearDown() override {
+    support::failpoint::Reset();
+    fs::remove(path_);
+    fs::remove(path_.string() + ".tmp");
+  }
+
+  void ExpectOldImageIntact() {
+    std::string error;
+    auto opened =
+        FrozenImage::Open(path_.string(), image::ImageView::Verify::kChecksum, &error);
+    ASSERT_TRUE(opened.has_value()) << error;
+    EXPECT_EQ(opened->view().header().generation, 1u);
+  }
+
+  fs::path path_;
+  RouteSet routes_;
+};
+
+TEST_F(ImagePublishFaultTest, FailedRenameNeverTearsThePublishedImage) {
+  std::string error;
+  ASSERT_TRUE(support::failpoint::Arm("image.publish.rename", "always,errno:EIO"));
+  EXPECT_FALSE(
+      image::ImageWriter::Refreeze(routes_, path_.string(), /*generation=*/2, &error));
+  EXPECT_FALSE(error.empty());
+  support::failpoint::Reset();
+  ExpectOldImageIntact();
+  EXPECT_FALSE(fs::exists(path_.string() + ".tmp"));  // torn temp is unlinked
+}
+
+TEST_F(ImagePublishFaultTest, ShortWriteNeverTearsThePublishedImage) {
+  std::string error;
+  // The .write site lands HALF the bytes then fails — the worst torn-write case.
+  ASSERT_TRUE(support::failpoint::Arm("image.publish.write", "always,errno:ENOSPC"));
+  EXPECT_FALSE(
+      image::ImageWriter::Refreeze(routes_, path_.string(), /*generation=*/2, &error));
+  EXPECT_NE(error.find("No space"), std::string::npos) << error;
+  support::failpoint::Reset();
+  ExpectOldImageIntact();
+  EXPECT_FALSE(fs::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(ImagePublishFaultTest, FailedFsyncNeverTearsThePublishedImage) {
+  std::string error;
+  ASSERT_TRUE(support::failpoint::Arm("image.publish.fsync", "always,errno:EIO"));
+  EXPECT_FALSE(
+      image::ImageWriter::Refreeze(routes_, path_.string(), /*generation=*/2, &error));
+  support::failpoint::Reset();
+  ExpectOldImageIntact();
+}
+
+TEST_F(ImagePublishFaultTest, LeftoverTempJunkFromACrashIsOverwritten) {
+  {
+    std::ofstream junk(path_.string() + ".tmp", std::ios::binary);
+    junk << "half-written image from a crashed publish";
+  }
+  std::string error;
+  ASSERT_TRUE(
+      image::ImageWriter::Refreeze(routes_, path_.string(), /*generation=*/2, &error))
+      << error;
+  auto opened =
+      FrozenImage::Open(path_.string(), image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(opened.has_value()) << error;
+  EXPECT_EQ(opened->view().header().generation, 2u);
+  EXPECT_FALSE(fs::exists(path_.string() + ".tmp"));
+}
+
+TEST_F(ImagePublishFaultTest, MmapFailureFallsBackToReadingTheWholeFile) {
+  std::string error;
+  ASSERT_TRUE(support::failpoint::Arm("image.mmap", "always"));
+  auto opened =
+      FrozenImage::Open(path_.string(), image::ImageView::Verify::kChecksum, &error);
+  ASSERT_TRUE(opened.has_value()) << error;  // read() fallback served the open
+  EXPECT_EQ(opened->routes().size(), routes_.size());
 }
 
 TEST(FrozenInterner, AdoptedInternerIsReadOnly) {

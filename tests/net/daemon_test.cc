@@ -300,6 +300,62 @@ TEST_F(DaemonTest, ServesOverUdpToo) {
   EXPECT_EQ(reply.results[0].route, "far!leafc!%s");
 }
 
+TEST_F(DaemonTest, OverTurnBudgetRequestsGetOverloadedRepliesNotSilence) {
+  DaemonOptions options;
+  options.max_queries_per_turn = 2;
+  StartDaemon(std::move(options));
+  Client first(dir_, "c1.sock", daemon_->unix_path());
+  Client second(dir_, "c2.sock", daemon_->unix_path());
+  first.Send(1, {"leafa", "leafb"});  // fills the whole turn budget
+  second.Send(2, {"leafc"});          // shed: budget already exhausted
+  daemon_->PollOnce(100);
+
+  auto served = first.Receive();
+  ASSERT_TRUE(served.has_value());
+  EXPECT_EQ(served->flags, 0u);
+  ASSERT_EQ(served->results.size(), 2u);
+
+  auto shed = second.Receive();
+  ASSERT_TRUE(shed.has_value());
+  EXPECT_EQ(shed->request_id, 2u);
+  EXPECT_NE(shed->flags & kReplyFlagOverloaded, 0u);
+  EXPECT_TRUE(shed->results.empty()) << "overload replies are header-only";
+  EXPECT_EQ(daemon_->stats().overload_replies, 1u);
+
+  // The shed request was NOT replay-buffered: the retransmit is a fresh
+  // resolve that now succeeds, so back-off-and-retry always converges.
+  second.Send(2, {"leafc"});
+  daemon_->PollOnce(100);
+  auto retried = second.Receive();
+  ASSERT_TRUE(retried.has_value());
+  EXPECT_EQ(retried->flags & kReplyFlagOverloaded, 0u);
+  ASSERT_EQ(retried->results.size(), 1u);
+  EXPECT_EQ(retried->results[0].route, "far!leafc!%s");
+}
+
+TEST_F(DaemonTest, ReplayBufferEnforcesItsByteBudget) {
+  DaemonOptions options;
+  options.replay_entries = 1024;   // entries never bind in this test
+  options.replay_bytes = 256;      // a couple of small replies at most
+  StartDaemon(std::move(options));
+  Client client(dir_, "c1.sock", daemon_->unix_path());
+  for (uint64_t id = 1; id <= 8; ++id) {
+    client.Send(id, {"leafa"});
+    daemon_->PollOnce(100);
+    ASSERT_TRUE(client.Receive().has_value());
+  }
+  daemon_->PollOnce(10);  // housekeeping syncs replay stats into DaemonStats
+  EXPECT_GT(daemon_->stats().replay_evictions, 0u);
+  EXPECT_GT(daemon_->stats().replay_evicted_bytes, 0u);
+  EXPECT_LE(daemon_->stats().replay_bytes, 256u);
+
+  // Old requests fell out of the byte-bounded buffer, recent ones replay.
+  client.Send(8, {"leafa"});
+  daemon_->PollOnce(100);
+  ASSERT_TRUE(client.Receive().has_value());
+  EXPECT_GE(daemon_->stats().duplicate_requests, 1u);
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace pathalias

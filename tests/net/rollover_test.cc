@@ -21,6 +21,7 @@
 #include "src/incr/state_dir.h"
 #include "src/net/daemon.h"
 #include "src/net/wire.h"
+#include "src/support/failpoint.h"
 
 namespace pathalias {
 namespace net {
@@ -90,6 +91,8 @@ void InitImage(const std::vector<InputFile>& files, const std::string& image_pat
 
 class RolloverDaemonTest : public ::testing::Test {
  protected:
+  void TearDown() override { support::failpoint::Reset(); }
+
   void StartDaemon(bool with_map_files, int watch_interval_ms) {
     dir_ = MakeScratchDir();
     image_path_ = (dir_ / "routes.pari").string();
@@ -276,6 +279,96 @@ TEST_F(RolloverDaemonTest, WatchSurvivesIncompatibleImageRebuild) {
   EXPECT_NE(daemon_->engine(), old_engine) << "incompatible swap must rebuild cold";
   EXPECT_EQ(RouteOf(2, "leafc"), "leafc!%s");
   EXPECT_EQ(RouteOf(3, "hub"), "") << "the old world is gone";
+}
+
+// Graceful degradation: a refreeze that cannot be published (injected rename
+// failure) must log an error, keep serving the OLD map, and succeed verbatim on
+// the next reload once the fault clears.
+TEST_F(RolloverDaemonTest, FailedRefreezeKeepsServingOldMapAndRetrySucceeds) {
+  StartDaemon(/*with_map_files=*/true, /*watch_interval_ms=*/0);
+  EXPECT_EQ(RouteOf(1, "leafc"), "far!leafc!%s");
+
+  WriteMapFiles(FilesB(dir_));
+  ASSERT_TRUE(support::failpoint::Arm("image.publish.rename", "always,errno:ENOSPC"));
+  daemon_->RequestReload();
+  ASSERT_TRUE(daemon_->PollOnce(100)) << "a failed reload must not stop the loop";
+
+  EXPECT_EQ(daemon_->stats().reload_errors, 1u);
+  EXPECT_EQ(daemon_->stats().reloads_applied, 0u);
+  EXPECT_EQ(RouteOf(2, "leafc"), "far!leafc!%s") << "old map keeps serving";
+
+  support::failpoint::Reset();
+  daemon_->RequestReload();
+  ASSERT_TRUE(daemon_->PollOnce(100));
+  EXPECT_EQ(daemon_->stats().reloads_applied, 1u);
+  EXPECT_EQ(RouteOf(3, "leafc"), "mid!leafc!%s");
+}
+
+// Transient open failure on the watch path: the first tick's reopen fails, but
+// the controller leaves its stat identity untouched, so the NEXT tick retries
+// the same replacement and lands it — self-healing, no restart needed.
+TEST_F(RolloverDaemonTest, WatchRetriesAfterTransientReopenFailure) {
+  StartDaemon(/*with_map_files=*/false, /*watch_interval_ms=*/1);
+  EXPECT_EQ(RouteOf(1, "leafc"), "far!leafc!%s");
+
+  {  // External update, as in WatchPicksUpExternalImageReplacement.
+    std::string error;
+    auto state = incr::LoadStateDir(image_path_ + ".state", &error);
+    ASSERT_TRUE(state.has_value()) << error;
+    incr::MapBuilder builder(
+        incr::MapBuilderOptions{.local = state->local, .ignore_case = state->ignore_case});
+    ASSERT_TRUE(builder.BuildFromArtifacts(std::move(state->artifacts)));
+    WriteMapFiles(FilesB(dir_));
+    std::vector<InputFile> changed;
+    for (const InputFile& file : FilesB(dir_)) {
+      changed.push_back({file.name, ReadFileAt(file.name)});
+    }
+    builder.Update(changed);
+    ASSERT_TRUE(builder.valid());
+    ASSERT_TRUE(image::ImageWriter::Refreeze(builder.routes(), image_path_));
+  }
+
+  ASSERT_TRUE(support::failpoint::Arm("rollover.reopen", "nth:1"));
+  SpinUntilGeneration(&*daemon_, 1);  // tick 1 fails, tick 2 lands it
+  EXPECT_EQ(support::failpoint::Fires("rollover.reopen"), 1u);
+  EXPECT_GE(daemon_->stats().reload_errors, 1u);
+  EXPECT_GE(daemon_->stats().reloads_applied, 1u);
+  EXPECT_EQ(RouteOf(2, "leafc"), "mid!leafc!%s");
+}
+
+// The torn-update refusal: a state dir stamped for a DIFFERENT image generation
+// must not be adopted for incremental rebuilds (its artifact ids describe some
+// other image) — the controller reports the mismatch and serves the old map.
+TEST(RolloverController, RefusesStateStampedForADifferentImageGeneration) {
+  fs::path dir = MakeScratchDir();
+  std::string image_path = (dir / "routes.pari").string();
+  std::vector<InputFile> files = FilesA(dir);
+  WriteMapFiles(files);
+  incr::MapBuilder builder(incr::MapBuilderOptions{.local = "hub"});
+  ASSERT_TRUE(builder.Build(files));
+  ASSERT_TRUE(image::ImageWriter::Refreeze(builder.routes(), image_path, /*generation=*/5));
+  incr::StateDirContents contents;
+  contents.local = "hub";
+  contents.ignore_case = false;
+  contents.image_generation = 3;  // a state publish that never paired with this image
+  contents.artifacts = builder.artifacts();
+  ASSERT_TRUE(incr::SaveStateDir(image_path + ".state", contents));
+
+  RolloverOptions options;
+  options.image_path = image_path;
+  for (const InputFile& file : files) {
+    options.map_files.push_back(file.name);
+  }
+  RolloverController controller(options);
+  std::string error;
+  ASSERT_TRUE(controller.Start(&error)) << error;
+  EXPECT_EQ(controller.image_generation(), 5u);
+
+  WriteMapFiles(FilesB(dir));
+  std::string detail;
+  EXPECT_EQ(controller.ReloadFromSources(&detail), ReloadOutcome::kError);
+  EXPECT_NE(detail.find("generation mismatch"), std::string::npos) << detail;
+  EXPECT_EQ(controller.generation(), 0u) << "no swap happened";
 }
 
 // RolloverController in isolation: stat-identity makes the watch free when the

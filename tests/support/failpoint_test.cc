@@ -1,0 +1,144 @@
+// Failpoint framework: schedules, env-spec parsing, counters, and the
+// disarmed fast path.
+
+#include "src/support/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <string>
+
+namespace failpoint = pathalias::support::failpoint;
+
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::Reset(); }
+};
+
+TEST_F(FailpointTest, DisarmedNeverFires) {
+  EXPECT_FALSE(failpoint::Inject("unknown.site"));
+  EXPECT_EQ(failpoint::Hits("unknown.site"), 0u);
+  EXPECT_EQ(failpoint::Fires("unknown.site"), 0u);
+}
+
+TEST_F(FailpointTest, AlwaysFiresEveryHit) {
+  ASSERT_TRUE(failpoint::Arm("a", "always"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Hits("a"), 3u);
+  EXPECT_EQ(failpoint::Fires("a"), 3u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnce) {
+  ASSERT_TRUE(failpoint::Arm("a", "once"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Fires("a"), 1u);
+}
+
+TEST_F(FailpointTest, NthFiresOnExactlyTheNthHit) {
+  ASSERT_TRUE(failpoint::Arm("a", "nth:3"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Fires("a"), 1u);
+}
+
+TEST_F(FailpointTest, EveryFiresPeriodically) {
+  ASSERT_TRUE(failpoint::Arm("a", "every:2"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Fires("a"), 2u);
+}
+
+TEST_F(FailpointTest, TimesFiresTheFirstNHits) {
+  ASSERT_TRUE(failpoint::Arm("a", "times:2"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Fires("a"), 2u);
+}
+
+TEST_F(FailpointTest, OffCountsHitsWithoutFiring) {
+  ASSERT_TRUE(failpoint::Arm("a", "off"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Hits("a"), 2u);
+  EXPECT_EQ(failpoint::Fires("a"), 0u);
+}
+
+TEST_F(FailpointTest, FiringSetsConfiguredErrno) {
+  ASSERT_TRUE(failpoint::Arm("a", "always,errno:ENOSPC"));
+  errno = 0;
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_EQ(errno, ENOSPC);
+}
+
+TEST_F(FailpointTest, DefaultErrnoIsEio) {
+  ASSERT_TRUE(failpoint::Arm("a", "always"));
+  errno = 0;
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_EQ(errno, EIO);
+}
+
+TEST_F(FailpointTest, NumericErrnoAccepted) {
+  ASSERT_TRUE(failpoint::Arm("a", "always,errno:28"));  // ENOSPC on linux
+  errno = 0;
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_EQ(errno, 28);
+}
+
+TEST_F(FailpointTest, DisarmStopsFiring) {
+  ASSERT_TRUE(failpoint::Arm("a", "always"));
+  EXPECT_TRUE(failpoint::Inject("a"));
+  failpoint::Disarm("a");
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_EQ(failpoint::Fires("a"), 1u);  // counters survive Disarm
+}
+
+TEST_F(FailpointTest, RearmingResetsCounters) {
+  ASSERT_TRUE(failpoint::Arm("a", "nth:2"));
+  EXPECT_FALSE(failpoint::Inject("a"));
+  ASSERT_TRUE(failpoint::Arm("a", "nth:2"));
+  EXPECT_FALSE(failpoint::Inject("a"));  // hit 1 again, not hit 2
+  EXPECT_TRUE(failpoint::Inject("a"));
+}
+
+TEST_F(FailpointTest, SpecArmsMultipleFailpoints) {
+  std::string error;
+  ASSERT_TRUE(failpoint::ArmFromSpec("a=once,errno:ENOSPC; b=every:2", &error)) << error;
+  EXPECT_TRUE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("b"));
+  EXPECT_TRUE(failpoint::Inject("b"));
+}
+
+TEST_F(FailpointTest, MalformedSchedulesRejected) {
+  std::string error;
+  EXPECT_FALSE(failpoint::Arm("a", "", &error));
+  EXPECT_FALSE(failpoint::Arm("a", "sometimes", &error));
+  EXPECT_FALSE(failpoint::Arm("a", "nth:0", &error));
+  EXPECT_FALSE(failpoint::Arm("a", "nth:x", &error));
+  EXPECT_FALSE(failpoint::Arm("a", "always,errno:EWHATEVER", &error));
+  EXPECT_FALSE(failpoint::ArmFromSpec("justaname", &error));
+  EXPECT_FALSE(failpoint::ArmFromSpec("=once", &error));
+  // Nothing fired along the way.
+  EXPECT_FALSE(failpoint::Inject("a"));
+}
+
+TEST_F(FailpointTest, ResetDisarmsEverything) {
+  ASSERT_TRUE(failpoint::Arm("a", "always"));
+  ASSERT_TRUE(failpoint::Arm("b", "always"));
+  failpoint::Reset();
+  EXPECT_FALSE(failpoint::Inject("a"));
+  EXPECT_FALSE(failpoint::Inject("b"));
+  EXPECT_EQ(failpoint::Hits("a"), 0u);  // counters forgotten too
+}
+
+}  // namespace
