@@ -33,6 +33,8 @@
 #include "bench/bench_util.h"
 #include "bench/daemon_latency.h"
 #include "src/core/pathalias.h"
+#include "src/core/route_printer.h"
+#include "src/graph/audit.h"
 #include "src/exec/batch_engine.h"
 #include "src/image/frozen_route_set.h"
 #include "src/image/image_writer.h"
@@ -663,6 +665,131 @@ ScaledWorkload BuildScaledWorkload(int scale, size_t query_count) {
   return workload;
 }
 
+// --- the domain-sharded mapper at usenet scale ------------------------------
+//
+// One row per map size: serial pipeline wall (parse+map+emit), the emission pass
+// alone, and per-shard-count sharded walls with the byte-identity verdict the
+// engine guarantees.  The audit numbers pin the superlinear fix: the indexed
+// inbound tally versus a timed replica of the retired per-candidate link rescan
+// on the same graph.
+
+struct ShardedMapPoint {
+  int shards = 0;
+  double wall_ms = 0.0;
+  bool identical = false;
+  bool engaged = false;
+  size_t rounds = 0;
+  size_t cross_offers = 0;
+};
+
+struct ShardedMapRow {
+  size_t hosts = 0;
+  size_t nodes = 0;
+  size_t links = 0;
+  size_t route_bytes = 0;
+  double serial_wall_ms = 0.0;
+  double emission_ms = 0.0;
+  long peak_rss_kb = 0;
+  std::vector<ShardedMapPoint> points;
+};
+
+struct AuditScaling {
+  size_t candidates = 0;
+  size_t links = 0;
+  double indexed_ms = 0.0;
+  double rescan_reference_ms = 0.0;
+};
+
+ShardedMapRow MeasureShardedMapping(size_t hosts, int map_passes,
+                                    const std::vector<int>& shard_counts,
+                                    AuditScaling* audit) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::UsenetScale(static_cast<int>(hosts)));
+  ShardedMapRow row;
+  row.hosts = hosts;
+  std::string serial_output;
+  for (int pass = 0; pass < map_passes; ++pass) {
+    Diagnostics diag;
+    RunOptions options;
+    options.local = map.local;
+    options.print.include_costs = true;
+    bench::WallTimer timer;
+    RunResult result = pathalias::Run(map.files, options, &diag);
+    double ms = timer.Ms();
+    if (pass == 0 || ms < row.serial_wall_ms) {
+      row.serial_wall_ms = ms;
+    }
+    row.nodes = result.graph->node_count();
+    row.links = result.graph->link_count();
+    row.route_bytes = result.output.size();
+    serial_output = std::move(result.output);
+    if (pass + 1 < map_passes) {
+      continue;
+    }
+    // The emission pass alone, re-rendered from the finished mapping.
+    bench::WallTimer emission_timer;
+    RoutePrinter printer(result.map, options.print);
+    std::string rendered;
+    for (const RouteEntry& entry : printer.Build()) {
+      rendered += entry.name;
+      rendered += '\n';
+      benchmark::DoNotOptimize(entry.route.data());
+    }
+    row.emission_ms = emission_timer.Ms();
+    benchmark::DoNotOptimize(rendered.size());
+    if (audit == nullptr) {
+      continue;
+    }
+    audit->links = result.graph->link_count();
+    bench::WallTimer indexed_timer;
+    AuditReport report = AuditGraph(*result.graph);
+    audit->indexed_ms = indexed_timer.Ms();
+    benchmark::DoNotOptimize(report.findings.size());
+    // The retired shape: the unenterable-net and dead-relay passes each rescanned
+    // every link once per candidate node — O(candidates x links).
+    bench::WallTimer rescan_timer;
+    size_t touched = 0;
+    for (const Node* candidate : result.graph->nodes()) {
+      if (!candidate->placeholder() && !candidate->terminal() && !candidate->deleted()) {
+        continue;
+      }
+      ++audit->candidates;
+      for (const Node* from : result.graph->nodes()) {
+        for (const Link* link = from->links; link != nullptr; link = link->next) {
+          if (link->to == candidate) {
+            ++touched;
+          }
+        }
+      }
+    }
+    benchmark::DoNotOptimize(touched);
+    audit->rescan_reference_ms = rescan_timer.Ms();
+  }
+  for (int shards : shard_counts) {
+    ShardedMapPoint point;
+    point.shards = shards;
+    for (int pass = 0; pass < map_passes; ++pass) {
+      Diagnostics diag;
+      RunOptions options;
+      options.local = map.local;
+      options.print.include_costs = true;
+      options.shard.shards = shards;
+      bench::WallTimer timer;
+      RunResult result = pathalias::Run(map.files, options, &diag);
+      double ms = timer.Ms();
+      if (pass == 0 || ms < point.wall_ms) {
+        point.wall_ms = ms;
+      }
+      point.identical = result.output == serial_output;
+      point.engaged = result.shard_stats.engaged;
+      point.rounds = result.shard_stats.rounds;
+      point.cross_offers = result.shard_stats.cross_offers;
+    }
+    row.points.push_back(point);
+  }
+  row.peak_rss_kb = bench::PeakRssKb();
+  return row;
+}
+
 // Emits machine-readable results for the batch workload as BENCH_resolver.json, with
 // the pre-refactor reference numbers (seed build, same workload generator, same
 // container) recorded alongside so the comparison travels with the repo.
@@ -688,6 +815,7 @@ void WriteBenchJson() {
     }
   }
   double qps = static_cast<double>(f.batch_queries.size()) / (best_ms / 1000.0);
+  long rss_batch_kb = bench::PeakRssKb();
 
   // --- the tentpole: scalar vs pipelined, interleaved per pass ---
   // Scalar throughput on this workload swings ~±10% between separate runs (CPU
@@ -792,6 +920,7 @@ void WriteBenchJson() {
       scaled_pipe_ms = ms;
     }
   }
+  long rss_pipeline_kb = bench::PeakRssKb();
 
   // Satellite: the reply-path loop-test scan, inline vs the unordered_set it
   // replaced, at representative bang-path lengths (all-distinct worst case).
@@ -828,6 +957,7 @@ void WriteBenchJson() {
     }
     repeat_scan.push_back(point);
   }
+  long rss_repeat_scan_kb = bench::PeakRssKb();
 
   // The same batch against the mmap'd frozen image.
   FrozenResolver frozen_resolver(f.frozen.get(), ResolveOptions{});
@@ -842,6 +972,7 @@ void WriteBenchJson() {
     }
   }
   double frozen_qps = static_cast<double>(f.batch_queries.size()) / (frozen_best_ms / 1000.0);
+  long rss_frozen_kb = bench::PeakRssKb();
 
   // The sharded engine's scaling curve, both backends, cache off: same workload,
   // same expected counts, threads 1/2/4/8.
@@ -875,6 +1006,7 @@ void WriteBenchJson() {
     }
     scaling.push_back(point);
   }
+  long rss_parallel_kb = bench::PeakRssKb();
 
   // The hot-set cache sweep: the POI-alias traffic shape at three hot fractions,
   // cache off vs a 64Ki-entry per-shard cache, single shard so the cache effect is
@@ -916,6 +1048,7 @@ void WriteBenchJson() {
     point.hit_rate = on_engine.stats().hit_rate();
     sweep.push_back(point);
   }
+  long rss_sweep_kb = bench::PeakRssKb();
 
   // Cold start: parse+intern the route text vs open+mmap the image, each through its
   // first resolve, best of kPasses.
@@ -948,14 +1081,17 @@ void WriteBenchJson() {
       image_ms = ms;
     }
   }
+  long rss_cold_start_kb = bench::PeakRssKb();
 
   // The incremental pipeline: a 1-file edit patched into a warm MapBuilder versus
   // the full pipeline over the edited inputs — once on the plain map, once on the
   // alias/dead/gateway-bearing variant the patch path now handles in place.
   IncrementalBench incremental_bench = BuildIncrementalBenchMap(/*with_aliases=*/false);
   IncrementalResults incremental = MeasureIncrementalUpdate(incremental_bench);
+  long rss_incremental_kb = bench::PeakRssKb();
   IncrementalBench alias_bench = BuildIncrementalBenchMap(/*with_aliases=*/true);
   IncrementalResults alias_incremental = MeasureIncrementalUpdate(alias_bench);
+  long rss_incremental_aliases_kb = bench::PeakRssKb();
 
   // Single-query path for the same trace the legacy benchmark uses.
   ResolveOptions single_options;
@@ -968,6 +1104,7 @@ void WriteBenchJson() {
     }
   }
   double trace_ms = trace_timer.Ms();
+  long rss_trace_kb = bench::PeakRssKb();
 
   // --- daemon round-trip latency: the served path over a unix-domain socket ---
   bench_daemon::LatencyStats daemon_single =
@@ -995,6 +1132,33 @@ void WriteBenchJson() {
     daemon_curve.push_back(bench_daemon::MeasureDaemonOfferedLoad(
         f.pari_path, f.batch_queries, /*clients=*/4, rate, /*requests=*/rate / 2));
   }
+  // The PR-7 residual: shard-parallel ResolveBatch inside a daemon turn.  Same
+  // 32-query closed-loop shape, the daemon's engine at routedbd --threads N.
+  std::vector<bench_daemon::LatencyStats> daemon_threads_grid;
+  for (int threads : {1, 2, 4}) {
+    daemon_threads_grid.push_back(bench_daemon::MeasureDaemonLatency(
+        f.pari_path, f.batch_queries, /*queries_per_request=*/32, /*requests=*/500,
+        threads));
+  }
+  long rss_daemon_kb = bench::PeakRssKb();
+
+  // --- the domain-sharded mapper: hosts x shards grid + the million-host point ---
+  // Measured last so every earlier section's peak_rss_kb reflects its own phase,
+  // not the large maps built here.
+  AuditScaling audit_scaling;
+  std::vector<ShardedMapRow> sharded_rows;
+  sharded_rows.push_back(
+      MeasureShardedMapping(20000, /*map_passes=*/2, {1, 2, 4, 8}, nullptr));
+  sharded_rows.push_back(
+      MeasureShardedMapping(100000, /*map_passes=*/2, {1, 2, 4, 8}, &audit_scaling));
+  sharded_rows.push_back(
+      MeasureShardedMapping(1000000, /*map_passes=*/1, {8}, nullptr));
+  bool sharded_all_identical = true;
+  for (const ShardedMapRow& row : sharded_rows) {
+    for (const ShardedMapPoint& point : row.points) {
+      sharded_all_identical = sharded_all_identical && point.identical;
+    }
+  }
 
   std::FILE* out = std::fopen("BENCH_resolver.json", "w");
   if (out == nullptr) {
@@ -1005,12 +1169,18 @@ void WriteBenchJson() {
   std::fprintf(out, "  \"benchmark\": \"bench_resolver\",\n");
   std::fprintf(out, "  \"workload\": \"1986-scale synthetic route db; batch of %zu mixed "
                     "host/domain-fallback/miss queries\",\n", f.batch_queries.size());
+  std::fprintf(out, "  \"peak_rss_note\": \"peak_rss_kb is getrusage ru_maxrss (KiB) "
+                    "captured at the end of each section's measurement phase; the value "
+                    "is a monotone process-wide high-water mark, so only the growth "
+                    "between consecutive sections belongs to the later one — "
+                    "bench_delta.py reports these, never gates on them\",\n");
   std::fprintf(out, "  \"batch_resolve\": {\n");
   std::fprintf(out, "    \"queries\": %zu,\n", f.batch_queries.size());
   std::fprintf(out, "    \"resolved\": %zu,\n", resolved);
   std::fprintf(out, "    \"suffix_matches\": %zu,\n", suffix_matches);
   std::fprintf(out, "    \"best_wall_ms\": %.3f,\n", best_ms);
-  std::fprintf(out, "    \"queries_per_second\": %.0f\n", qps);
+  std::fprintf(out, "    \"queries_per_second\": %.0f,\n", qps);
+  std::fprintf(out, "    \"peak_rss_kb\": %ld\n", rss_batch_kb);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"resolve_pipeline\": {\n");
   std::fprintf(out, "    \"note\": \"software-pipelined batch loop vs the scalar "
@@ -1021,6 +1191,7 @@ void WriteBenchJson() {
                     "L2-resident, so the win here is modest — scaled_4x below shows "
                     "the same loop where the probe path has DRAM latency to hide\",\n");
   std::fprintf(out, "    \"queries\": %zu,\n", f.batch_queries.size());
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_pipeline_kb);
   std::fprintf(out, "    \"default_window\": %zu,\n", Resolver::kDefaultPipelineWindow);
   std::fprintf(out, "    \"scalar_best_wall_ms\": %.3f,\n", pipe_scalar_best_ms);
   std::fprintf(out, "    \"scalar_queries_per_second\": %.0f,\n",
@@ -1101,6 +1272,7 @@ void WriteBenchJson() {
   std::fprintf(out, "    \"note\": \"reply-path loop test: the inline quadratic "
                     "scan vs the per-call unordered_set it replaced, all-distinct "
                     "paths (worst case), ns per call, best of 3\",\n");
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_repeat_scan_kb);
   std::fprintf(out, "    \"points\": [\n");
   for (size_t i = 0; i < repeat_scan.size(); ++i) {
     const RepeatScanPoint& point = repeat_scan[i];
@@ -1119,6 +1291,7 @@ void WriteBenchJson() {
   std::fprintf(out, "    \"resolved\": %zu,\n", frozen_resolved);
   std::fprintf(out, "    \"best_wall_ms\": %.3f,\n", frozen_best_ms);
   std::fprintf(out, "    \"queries_per_second\": %.0f,\n", frozen_qps);
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_frozen_kb);
   std::fprintf(out, "    \"matches_live_resolved\": %s\n",
                frozen_resolved == resolved ? "true" : "false");
   std::fprintf(out, "  },\n");
@@ -1128,6 +1301,7 @@ void WriteBenchJson() {
                     "byte-identical to the serial path; hardware_threads is what this "
                     "container exposes — scaling flattens at that line\",\n");
   std::fprintf(out, "    \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_parallel_kb);
   std::fprintf(out, "    \"serial_reference_resolved\": %zu,\n", resolved);
   std::fprintf(out, "    \"scaling\": [\n");
   for (size_t i = 0; i < scaling.size(); ++i) {
@@ -1158,6 +1332,7 @@ void WriteBenchJson() {
                     "%zu entries vs cache off; identical resolved counts by "
                     "construction\",\n",
                f.hot_hosts.size(), kSweepCacheEntries);
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_sweep_kb);
   std::fprintf(out, "    \"points\": [\n");
   for (size_t i = 0; i < sweep.size(); ++i) {
     const auto& point = sweep[i];
@@ -1181,6 +1356,7 @@ void WriteBenchJson() {
                     "route text vs open+mmap+validate the frozen image; best of %d\",\n",
                kPasses);
   std::fprintf(out, "    \"routes\": %zu,\n", f.routes.size());
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_cold_start_kb);
   std::fprintf(out, "    \"image_bytes\": %zu,\n", f.pari_image.size());
   std::fprintf(out, "    \"parse_intern_ms\": %.3f,\n", parse_ms);
   std::fprintf(out, "    \"image_open_ms\": %.3f,\n", image_ms);
@@ -1196,6 +1372,7 @@ void WriteBenchJson() {
                incremental_bench.hosts, incremental_bench.files.size(), kPasses);
   std::fprintf(out, "    \"hosts\": %zu,\n", incremental_bench.hosts);
   std::fprintf(out, "    \"site_files\": %zu,\n", incremental_bench.files.size());
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_incremental_kb);
   std::fprintf(out, "    \"routes\": %zu,\n", incremental.routes);
   std::fprintf(out, "    \"patched\": %s,\n", incremental.patched ? "true" : "false");
   if (!incremental.patched) {
@@ -1227,6 +1404,7 @@ void WriteBenchJson() {
                alias_bench.alias_decls, kPasses);
   std::fprintf(out, "    \"hosts\": %zu,\n", alias_bench.hosts);
   std::fprintf(out, "    \"site_files\": %zu,\n", alias_bench.files.size());
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_incremental_aliases_kb);
   std::fprintf(out, "    \"alias_declarations\": %zu,\n", alias_bench.alias_decls);
   std::fprintf(out, "    \"routes\": %zu,\n", alias_incremental.routes);
   std::fprintf(out, "    \"patched\": %s,\n", alias_incremental.patched ? "true" : "false");
@@ -1255,7 +1433,8 @@ void WriteBenchJson() {
   std::fprintf(out, "  \"resolve_trace\": {\n");
   std::fprintf(out, "    \"addresses\": %zu,\n", f.trace.size());
   std::fprintf(out, "    \"resolved\": %zu,\n", trace_resolved);
-  std::fprintf(out, "    \"wall_ms\": %.3f\n", trace_ms);
+  std::fprintf(out, "    \"wall_ms\": %.3f,\n", trace_ms);
+  std::fprintf(out, "    \"peak_rss_kb\": %ld\n", rss_trace_kb);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"daemon_latency\": {\n");
   std::fprintf(out, "    \"note\": \"closed-loop round trips through an in-process "
@@ -1267,6 +1446,7 @@ void WriteBenchJson() {
                     "from the scheduled send time (coordinated-omission-free), dropped "
                     "counts requests with no reply\",\n",
                daemon_single.requests, daemon_batch32.requests);
+  std::fprintf(out, "    \"peak_rss_kb\": %ld,\n", rss_daemon_kb);
   std::fprintf(out, "    \"single_query\": {\n");
   std::fprintf(out, "      \"ok\": %s,\n", daemon_single.ok ? "true" : "false");
   if (!daemon_single.ok) {
@@ -1292,6 +1472,26 @@ void WriteBenchJson() {
   std::fprintf(out, "      \"p99_ms\": %.4f,\n", daemon_batch32.p99_ms);
   std::fprintf(out, "      \"max_ms\": %.4f,\n", daemon_batch32.max_ms);
   std::fprintf(out, "      \"mean_ms\": %.4f\n", daemon_batch32.mean_ms);
+  std::fprintf(out, "    },\n");
+  std::fprintf(out, "    \"batch_32_by_engine_threads\": {\n");
+  std::fprintf(out, "      \"note\": \"the PR-7 residual measured: the same 32-query "
+                    "closed-loop requests with the daemon's serving engine sharded "
+                    "across N threads (routedbd --threads N); on a "
+                    "%u-hardware-thread container extra engine threads are pure "
+                    "coordination overhead, which is exactly what this records\",\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(out, "      \"points\": [\n");
+  for (size_t i = 0; i < daemon_threads_grid.size(); ++i) {
+    const bench_daemon::LatencyStats& point = daemon_threads_grid[i];
+    std::fprintf(out,
+                 "        {\"threads\": %d, \"ok\": %s, \"requests\": %zu, "
+                 "\"resolved\": %zu, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"mean_ms\": %.4f}%s\n",
+                 point.threads, point.ok ? "true" : "false", point.requests,
+                 point.resolved, point.p50_ms, point.p99_ms, point.mean_ms,
+                 i + 1 < daemon_threads_grid.size() ? "," : "");
+  }
+  std::fprintf(out, "      ]\n");
   std::fprintf(out, "    },\n");
   std::fprintf(out, "    \"open_loop_20k_per_second\": {\n");
   std::fprintf(out, "      \"ok\": %s,\n", daemon_open.ok ? "true" : "false");
@@ -1346,6 +1546,55 @@ void WriteBenchJson() {
   }
   std::fprintf(out, "      ]\n");
   std::fprintf(out, "    }\n");
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"sharded_mapping\": {\n");
+  std::fprintf(out, "    \"note\": \"the domain-sharded parallel mapper over mapgen "
+                    "--profile usenet-scale maps: full pipeline wall "
+                    "(parse+graph+map+emit), serial vs --shards N, byte-identity "
+                    "checked per point (all_identical is the CI assertion); the "
+                    "million-host row is the acceptance point and dominates "
+                    "peak_rss_kb; audit_scaling pins the superlinear fix — the "
+                    "indexed inbound tally vs a timed replica of the retired "
+                    "per-candidate link rescan on the same 100k graph\",\n");
+  std::fprintf(out, "    \"hardware_threads\": %u,\n", std::thread::hardware_concurrency());
+  std::fprintf(out, "    \"all_identical\": %s,\n", sharded_all_identical ? "true" : "false");
+  std::fprintf(out, "    \"audit_scaling\": {\n");
+  std::fprintf(out, "      \"hosts\": 100000,\n");
+  std::fprintf(out, "      \"links\": %zu,\n", audit_scaling.links);
+  std::fprintf(out, "      \"candidates\": %zu,\n", audit_scaling.candidates);
+  std::fprintf(out, "      \"indexed_audit_ms\": %.3f,\n", audit_scaling.indexed_ms);
+  std::fprintf(out, "      \"per_candidate_rescan_reference_ms\": %.3f,\n",
+               audit_scaling.rescan_reference_ms);
+  std::fprintf(out, "      \"speedup\": %.1f\n",
+               audit_scaling.indexed_ms > 0.0
+                   ? audit_scaling.rescan_reference_ms / audit_scaling.indexed_ms
+                   : 0.0);
+  std::fprintf(out, "    },\n");
+  std::fprintf(out, "    \"rows\": [\n");
+  for (size_t r = 0; r < sharded_rows.size(); ++r) {
+    const ShardedMapRow& row = sharded_rows[r];
+    std::fprintf(out, "      {\n");
+    std::fprintf(out, "        \"hosts\": %zu,\n", row.hosts);
+    std::fprintf(out, "        \"nodes\": %zu,\n", row.nodes);
+    std::fprintf(out, "        \"links\": %zu,\n", row.links);
+    std::fprintf(out, "        \"route_bytes\": %zu,\n", row.route_bytes);
+    std::fprintf(out, "        \"serial_wall_ms\": %.1f,\n", row.serial_wall_ms);
+    std::fprintf(out, "        \"emission_ms\": %.1f,\n", row.emission_ms);
+    std::fprintf(out, "        \"peak_rss_kb\": %ld,\n", row.peak_rss_kb);
+    std::fprintf(out, "        \"points\": [\n");
+    for (size_t p = 0; p < row.points.size(); ++p) {
+      const ShardedMapPoint& point = row.points[p];
+      std::fprintf(out,
+                   "          {\"shards\": %d, \"wall_ms\": %.1f, \"identical\": %s, "
+                   "\"engaged\": %s, \"rounds\": %zu, \"cross_offers\": %zu}%s\n",
+                   point.shards, point.wall_ms, point.identical ? "true" : "false",
+                   point.engaged ? "true" : "false", point.rounds, point.cross_offers,
+                   p + 1 < row.points.size() ? "," : "");
+    }
+    std::fprintf(out, "        ]\n");
+    std::fprintf(out, "      }%s\n", r + 1 < sharded_rows.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"route_count\": %zu,\n", f.routes.size());
   std::fprintf(out, "  \"pre_refactor_reference\": {\n");
@@ -1428,6 +1677,24 @@ void WriteBenchJson() {
   } else {
     std::printf("daemon open-loop latency: FAILED (%s)\n", daemon_open.error.c_str());
   }
+  std::printf("daemon engine threads (32-query requests): ");
+  for (const bench_daemon::LatencyStats& point : daemon_threads_grid) {
+    std::printf("%dT p50 %.0f us%s", point.threads, point.p50_ms * 1000.0,
+                &point == &daemon_threads_grid.back() ? "\n" : ", ");
+  }
+  for (const ShardedMapRow& row : sharded_rows) {
+    std::printf("sharded mapping %zu hosts (%zu nodes, %zu links): serial %.0f ms",
+                row.hosts, row.nodes, row.links, row.serial_wall_ms);
+    for (const ShardedMapPoint& point : row.points) {
+      std::printf(", %d shards %.0f ms (%s)", point.shards, point.wall_ms,
+                  point.identical ? "identical" : "MISMATCH");
+    }
+    std::printf("; peak RSS %.0f MiB\n", static_cast<double>(row.peak_rss_kb) / 1024.0);
+  }
+  std::printf("audit at 100k hosts: indexed %.1f ms vs per-candidate rescan %.0f ms "
+              "(%zu candidates x %zu links)\n",
+              audit_scaling.indexed_ms, audit_scaling.rescan_reference_ms,
+              audit_scaling.candidates, audit_scaling.links);
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -35,6 +37,16 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+// Process peak RSS in KiB (getrusage ru_maxrss).  A monotone process-wide
+// high-water mark: a section records "peak so far", so only growth between two
+// consecutive sections is attributable to the later one.  bench_delta.py
+// reports these values but never gates on them.
+inline long PeakRssKb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;
+}
 
 inline void PrintHeader(const char* experiment, const char* claim) {
   std::printf("=== %s ===\n", experiment);

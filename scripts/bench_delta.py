@@ -8,6 +8,9 @@ list elements are matched by index), and prints one row per metric with the
 relative change.  Throughput-like metrics (queries_per_second, speedup, hit_rate,
 *_per_second) regress when they go DOWN; latency-like metrics (*_ms, *_us, *_ns,
 *_bytes — the daemon_latency percentiles among them) regress when they go UP.
+Peak-RSS metrics (*_rss_kb) are deliberately report-only: they appear in the
+table but never earn a warning and never trip --gate — ru_maxrss is a monotone
+process-wide high-water mark, and map/workload growth moves it legitimately.
 Regressions beyond the threshold get a warning marker so they stand out in the CI
 job summary — the job does not fail on them (runner hardware varies); the table is
 the reviewable artifact.  `--gate` flips that: exit 1 when any metric regressed,
@@ -29,6 +32,7 @@ THRESHOLD = 0.10  # relative change that earns a warning marker
 
 LOWER_IS_BETTER = ("_ms", "_us", "_ns", "_bytes")
 HIGHER_IS_BETTER = ("_per_second", "speedup", "hit_rate", "resolved", "queries")
+REPORT_ONLY = ("_rss_kb",)  # peak RSS: recorded for the reviewer, never gated
 
 
 def numeric_leaves(node, prefix=""):
@@ -47,6 +51,8 @@ def numeric_leaves(node, prefix=""):
 
 def direction(path):
     leaf = path.rsplit(".", 1)[-1]
+    if any(leaf.endswith(suffix) for suffix in REPORT_ONLY):
+        return 0
     if any(leaf.endswith(suffix) for suffix in LOWER_IS_BETTER):
         return -1  # an increase is a regression
     if any(leaf.endswith(suffix) or leaf == suffix.strip("_") for suffix in HIGHER_IS_BETTER):

@@ -22,8 +22,14 @@ RunResult Run(const std::vector<InputFile>& files, const RunOptions& options,
   }
   result.graph->SetLocal(local);
 
-  Mapper mapper(result.graph.get(), options.map);
-  result.map = mapper.Run();
+  if (options.shard.shards > 1) {
+    ShardedMapper mapper(result.graph.get(), options.map, options.shard);
+    result.map = mapper.Run();
+    result.shard_stats = mapper.stats();
+  } else {
+    Mapper mapper(result.graph.get(), options.map);
+    result.map = mapper.Run();
+  }
   for (const Node* unreachable : result.map.unreachable) {
     diag->Warn(SourcePos{},
                std::string(result.graph->NameOf(unreachable)) + " is unreachable");

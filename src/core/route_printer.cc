@@ -18,7 +18,14 @@ bool LabelBefore(const PathLabel* a, const PathLabel* b, const NameInterner& nam
   if (a->node->name != b->node->name) {
     return names.View(a->node->name) < names.View(b->node->name);
   }
-  return a->taint < b->taint;
+  if (a->taint != b->taint) {
+    return a->taint < b->taint;
+  }
+  // Shadow (private) instances share a NameId and can tie on every field above;
+  // creation order makes the sort total, so the emitted order is a function of
+  // the mapping alone — not of how the labels vector happened to be laid out.
+  // The sharded mapper's byte-identity guarantee rides on this.
+  return a->node->order < b->node->order;
 }
 
 // The parent's route with %s replaced by host-op-%s (left) or %s-op-host (right).
@@ -133,8 +140,11 @@ bool Printable(const PathLabel& label) {
 
 std::vector<RouteEntry> RoutePrinter::Build() {
   std::vector<RouteEntry> entries;
-  // Attach each mapped label to its parent's child list.  Pushing in descending order
-  // leaves every child list ascending.
+  entries.reserve(map_->mapped_hosts);
+  // Attach each mapped label to its parent's child list.  Pushing in ascending
+  // order leaves every child list descending, which is exactly the order the
+  // traversal wants to push frames (cheapest child ends up on top of the stack)
+  // — no per-node child buffer or reversal on the emission path.
   std::vector<PathLabel*> mapped;
   const PathLabel* root = nullptr;
   for (PathLabel* label : map_->labels) {
@@ -153,7 +163,7 @@ std::vector<RouteEntry> RoutePrinter::Build() {
   }
   const NameInterner& names = *map_->names;
   std::sort(mapped.begin(), mapped.end(), [&names](const PathLabel* a, const PathLabel* b) {
-    return LabelBefore(b, a, names);
+    return LabelBefore(a, b, names);
   });
   for (PathLabel* label : mapped) {
     label->sibling = label->parent->child;
@@ -181,13 +191,10 @@ std::vector<RouteEntry> RoutePrinter::Build() {
       entries.push_back(RouteEntry{frame.display_name, frame.route, cost, &node});
     }
 
-    // Children are pushed in reverse so the cheapest is popped (and printed) first.
-    std::vector<const PathLabel*> children;
+    // Child lists are descending, so pushing in list order leaves the cheapest
+    // child on top of the stack — it is popped (and printed) first.
     for (const PathLabel* child = label.child; child != nullptr; child = child->sibling) {
-      children.push_back(child);
-    }
-    for (auto it = children.rbegin(); it != children.rend(); ++it) {
-      stack.push_back(MakeChildFrame(frame, **it, names));
+      stack.push_back(MakeChildFrame(frame, *child, names));
     }
   }
   return entries;

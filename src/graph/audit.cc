@@ -49,12 +49,34 @@ class Auditor {
     report_.findings.push_back({severity, category, std::move(message)});
   }
 
+  // Per-target inbound facts, folded in one pass over the link index.  The
+  // unenterable-net and dead-relay passes used to rescan every link per
+  // candidate node — O(placeholders x links) / O(dead x links), the first
+  // thing that blows up on 100k-host maps.
+  struct Inbound {
+    bool any = false;
+    bool gateway = false;
+    size_t non_invented = 0;
+  };
+
   void IndexLinks() {
     for (const Node* node : graph_.nodes()) {
       for (const Link* link = node->links; link != nullptr; link = link->next) {
         if (!link->alias()) {
           forward_.emplace(std::pair{node, static_cast<const Node*>(link->to)}, link);
         }
+      }
+    }
+    // Tally from forward_, not the raw lists: emplace deduplicated parallel
+    // (from,to) links, and the findings must not change shape with the rewrite.
+    for (const auto& [pair, link] : forward_) {
+      Inbound& in = inbound_[pair.second];
+      in.any = true;
+      if (link->gateway()) {
+        in.gateway = true;
+      }
+      if (!link->invented()) {
+        ++in.non_invented;
       }
     }
   }
@@ -157,10 +179,6 @@ class Auditor {
   }
 
   void FindDisconnected() {
-    std::unordered_set<const Node*> has_inbound;
-    for (const auto& [pair, link] : forward_) {
-      has_inbound.insert(pair.second);
-    }
     for (const Node* node : graph_.nodes()) {
       if (node->placeholder() || node->deleted()) {
         continue;
@@ -174,7 +192,7 @@ class Auditor {
           has_outbound = true;
         }
       }
-      bool inbound = has_inbound.contains(node);
+      bool inbound = inbound_.contains(node);
       if (!has_outbound && !inbound && !has_alias) {
         ++report_.isolated_hosts;
         Add(AuditSeverity::kProblem, "isolated-host",
@@ -197,16 +215,10 @@ class Auditor {
           break;
         }
       }
-      bool enterable = false;
-      bool gateway_ok = (node->flags & kNodeExplicitGateways) == 0;
-      for (const auto& [pair, link] : forward_) {
-        if (pair.second == node) {
-          enterable = true;
-          if (link->gateway()) {
-            gateway_ok = true;
-          }
-        }
-      }
+      auto in = inbound_.find(node);
+      bool enterable = in != inbound_.end() && in->second.any;
+      bool gateway_ok = (node->flags & kNodeExplicitGateways) == 0 ||
+                        (in != inbound_.end() && in->second.gateway);
       if (!enterable) {
         Add(AuditSeverity::kProblem, "unenterable-net",
             Name(node) + (node->domain() ? " (domain)" : " (network)") +
@@ -229,12 +241,8 @@ class Auditor {
       if (!node->terminal() && !node->deleted()) {
         continue;
       }
-      size_t still_referenced = 0;
-      for (const auto& [pair, link] : forward_) {
-        if (pair.second == node && !link->invented()) {
-          ++still_referenced;
-        }
-      }
+      auto in = inbound_.find(node);
+      size_t still_referenced = in == inbound_.end() ? 0 : in->second.non_invented;
       if (still_referenced >= 2) {
         Add(AuditSeverity::kInfo, "dead-but-popular",
             Name(node) + " is declared " +
@@ -249,6 +257,7 @@ class Auditor {
   const AuditOptions& options_;
   AuditReport report_;
   std::unordered_map<std::pair<const Node*, const Node*>, const Link*, PairHash> forward_;
+  std::unordered_map<const Node*, Inbound> inbound_;
   std::unordered_map<std::string, size_t> per_category_;
 };
 

@@ -49,10 +49,29 @@ struct MapGenConfig {
 
   int files = 40;  // site files the declarations are spread over
 
+  // ---- usenet-scale profile (mapgen --profile usenet-scale) ----
+  // When scale_hosts > 0 a different generator runs: strata are sized from the
+  // total, the bulk of hosts live in domain subtrees and are declared with
+  // fully-qualified names (host.sub.top), and names are counter-based so the
+  // syllable namespace never exhausts.  This is the million-host workload the
+  // domain-sharded mapper partitions by suffix subtree.
+  int scale_hosts = 0;                  // total host target; > 0 engages the profile
+  int domain_depth = 3;                 // max subdomain labels under a top-level domain
+  int top_domains = 12;                 // independent top-level domain trees
+  int members_per_subdomain = 250;      // domain members declared per leaf subdomain
+  double domain_member_fraction = 0.85; // hosts living inside domain subtrees
+  double net_member_fraction = 0.04;    // hosts inside net cliques
+  double intra_domain_link_rate = 0.30; // member→member UUCP links inside a subdomain
+  double dual_home_rate = 0.01;         // members with a UUCP link out to a regional
+  double dead_link_fraction = 0.001;    // bidirectional link pairs also declared dead
+  double dead_host_fraction = 0.0003;   // domain members declared dead
+
   // A configuration scaled down for unit tests (~1/10 size, same structure).
   static MapGenConfig Small();
   // The paper-scale configuration described above.
   static MapGenConfig Usenet1986();
+  // The usenet-scale profile sized for `hosts` total hosts (100k/1M benchmarks).
+  static MapGenConfig UsenetScale(int hosts);
 };
 
 struct GeneratedMap {
@@ -66,6 +85,8 @@ struct GeneratedMap {
   int domain_count = 0;
   int alias_count = 0;
   int private_declarations = 0;
+  int dead_link_declarations = 0;
+  int dead_host_declarations = 0;
 
   // All input concatenated (order preserved) for single-buffer consumers.
   std::string Joined() const;

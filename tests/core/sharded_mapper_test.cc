@@ -1,0 +1,235 @@
+// Golden byte-equivalence for the domain-sharded parallel mapper.
+//
+// The contract under test is absolute: for every map and every shard count, routes
+// produced through ShardedMapper are byte-identical to the serial Mapper's —
+// whether the sharded engine engaged or refused and fell back.  Coverage comes in
+// three layers: the paper's worked example (tiny, alias-bearing), mapgen's
+// usenet-scale maps at shard counts 1/2/4/8 (where engagement is also asserted, so
+// the guarantee is not vacuously met by constant fallback), and a seeded fuzz
+// sweep over random domain-structured maps with aliases, dead declarations, nets
+// and cross-domain ties.  Gate behavior (small maps, degenerate partitions,
+// non-default options) is pinned separately.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/pathalias.h"
+#include "src/mapgen/mapgen.h"
+#include "src/support/rng.h"
+
+namespace pathalias {
+namespace {
+
+constexpr std::string_view kPaperInput = R"(unc	duke(HOURLY), phs(HOURLY*4)
+duke	unc(DEMAND), research(DAILY/2), phs(DEMAND)
+phs	unc(HOURLY*4), duke(HOURLY)
+research	duke(DEMAND), ucbvax(DEMAND)
+ucbvax	research(DAILY)
+ARPA = @{mit-ai, ucbvax, stanford}(DEDICATED)
+)";
+
+struct PipelineRun {
+  std::string output;
+  ShardStats stats;
+  size_t errors = 0;
+};
+
+PipelineRun RunPipeline(const std::vector<InputFile>& files, const std::string& local,
+                        int shards, size_t min_nodes = 0) {
+  Diagnostics diag;
+  RunOptions options;
+  options.local = local;
+  options.print.include_costs = true;
+  options.shard.shards = shards;
+  options.shard.min_nodes = min_nodes;
+  options.shard.threads = 2;
+  RunResult result = pathalias::Run(files, options, &diag);
+  return PipelineRun{result.output, result.shard_stats,
+                     static_cast<size_t>(diag.error_count())};
+}
+
+std::vector<InputFile> SingleFile(std::string_view text) {
+  return {InputFile{"<input>", std::string(text)}};
+}
+
+TEST(ShardedMapper, PaperExampleIsByteIdenticalAtEveryShardCount) {
+  PipelineRun serial = RunPipeline(SingleFile(kPaperInput), "unc", 0);
+  ASSERT_EQ(serial.errors, 0u);
+  for (int shards : {1, 2, 4, 8}) {
+    PipelineRun sharded = RunPipeline(SingleFile(kPaperInput), "unc", shards);
+    EXPECT_EQ(sharded.output, serial.output) << "shards=" << shards;
+  }
+}
+
+TEST(ShardedMapper, UsenetScaleMapsAreByteIdenticalAndEngage) {
+  for (int hosts : {2000, 6000}) {
+    GeneratedMap map = GenerateUsenetMap(MapGenConfig::UsenetScale(hosts));
+    PipelineRun serial = RunPipeline(map.files, map.local, 0);
+    ASSERT_EQ(serial.errors, 0u);
+    ASSERT_GT(serial.output.size(), static_cast<size_t>(hosts) * 8) << "suspiciously few routes";
+    for (int shards : {1, 2, 4, 8}) {
+      PipelineRun sharded = RunPipeline(map.files, map.local, shards);
+      EXPECT_EQ(sharded.output, serial.output) << "hosts=" << hosts << " shards=" << shards;
+      if (shards > 1) {
+        EXPECT_TRUE(sharded.stats.engaged)
+            << "hosts=" << hosts << " shards=" << shards << " fell back: "
+            << sharded.stats.fallback_reason;
+        EXPECT_EQ(sharded.stats.shards_used, shards);
+        EXPECT_GE(sharded.stats.rounds, 1u);
+        EXPECT_GT(sharded.stats.groups, 1u);
+      }
+    }
+  }
+}
+
+TEST(ShardedMapper, UsenetScaleWithDeeperDomainsIsByteIdentical) {
+  MapGenConfig config = MapGenConfig::UsenetScale(3000);
+  config.domain_depth = 5;
+  config.seed = 7;
+  GeneratedMap map = GenerateUsenetMap(config);
+  PipelineRun serial = RunPipeline(map.files, map.local, 0);
+  PipelineRun sharded = RunPipeline(map.files, map.local, 4);
+  EXPECT_EQ(sharded.output, serial.output);
+  EXPECT_TRUE(sharded.stats.engaged) << sharded.stats.fallback_reason;
+}
+
+// ---- gates -----------------------------------------------------------------
+
+TEST(ShardedMapper, SmallMapsFallBackOnThreshold) {
+  PipelineRun run = RunPipeline(SingleFile(kPaperInput), "unc", 4, /*min_nodes=*/4096);
+  EXPECT_FALSE(run.stats.engaged);
+  EXPECT_EQ(run.stats.fallback_reason, "map below sharding threshold");
+}
+
+TEST(ShardedMapper, FlatMapsFallBackAsDegenerate) {
+  // All-flat names: one suffix group holds everything, so sharding cannot help.
+  std::string text;
+  for (int i = 0; i < 64; ++i) {
+    text += "h" + std::to_string(i) + "\th" + std::to_string((i + 1) % 64) + "(100)\n";
+  }
+  PipelineRun serial = RunPipeline(SingleFile(text), "h0", 0);
+  PipelineRun sharded = RunPipeline(SingleFile(text), "h0", 4);
+  EXPECT_EQ(sharded.output, serial.output);
+  EXPECT_FALSE(sharded.stats.engaged);
+  EXPECT_EQ(sharded.stats.fallback_reason, "degenerate partition (one suffix subtree dominates)");
+}
+
+TEST(ShardedMapper, NonDefaultOptionsFallBack) {
+  GeneratedMap map = GenerateUsenetMap(MapGenConfig::UsenetScale(1000));
+  Diagnostics diag;
+  RunOptions options;
+  options.local = map.local;
+  options.shard.shards = 4;
+  options.shard.min_nodes = 0;
+  options.map.two_label = true;
+  RunResult result = pathalias::Run(map.files, options, &diag);
+  EXPECT_FALSE(result.shard_stats.engaged);
+  EXPECT_EQ(result.shard_stats.fallback_reason, "two-label mode");
+}
+
+// ---- seeded fuzz -----------------------------------------------------------
+//
+// Random maps with the features that stress the order-independent relax rule:
+// several domain subtrees (so partitions are real), cross-subtree links at equal
+// costs (tie elections across shard boundaries), aliases (the refusal path),
+// dead hosts/links (penalty bits riding along equal-cost ties), nets, and
+// call-out-only hosts (back-link passes at the sharded pass boundary).
+
+std::string FuzzMap(uint64_t seed, int* host_count) {
+  Rng rng(seed);
+  std::string text;
+  int domains = static_cast<int>(2 + rng.Below(4));
+  std::vector<std::string> all;
+  std::vector<std::string> tops;
+  for (int d = 0; d < domains; ++d) {
+    std::string top = ".d" + std::to_string(d);
+    tops.push_back(top);
+    text += "net" + std::to_string(d) + " = @{";
+    int members = static_cast<int>(3 + rng.Below(8));
+    std::vector<std::string> local_members;
+    for (int m = 0; m < members; ++m) {
+      std::string name = "m" + std::to_string(m) + std::to_string(d) + top;
+      local_members.push_back(name);
+      all.push_back(name);
+      text += (m > 0 ? ", " : "") + name;
+    }
+    text += "}(" + std::to_string(100 * (1 + rng.Below(4))) + ")\n";
+    // Intra-domain mesh at repeated costs, to manufacture equal-(cost, hops) ties.
+    for (const std::string& from : local_members) {
+      if (rng.Below(2) == 0) {
+        const std::string& to = local_members[rng.Below(local_members.size())];
+        if (to != from) {
+          text += from + "\t" + to + "(" + std::to_string(100 * (1 + rng.Below(3))) + ")\n";
+        }
+      }
+    }
+  }
+  int flats = static_cast<int>(4 + rng.Below(8));
+  for (int f = 0; f < flats; ++f) {
+    std::string name = "u" + std::to_string(f);
+    all.push_back(name);
+  }
+  // The hub ties the partitions together; extra random edges cross them.
+  text += "hub\t";
+  for (size_t i = 0; i < tops.size(); ++i) {
+    text += (i > 0 ? ", " : "") + tops[i] + "(200)";
+  }
+  for (int f = 0; f < flats; ++f) {
+    text += ", u" + std::to_string(f) + "(" + std::to_string(100 * (1 + rng.Below(3))) + ")";
+  }
+  text += "\n";
+  all.push_back("hub");
+  for (int e = 0; e < 24; ++e) {
+    const std::string& from = all[rng.Below(all.size())];
+    const std::string& to = all[rng.Below(all.size())];
+    if (from != to) {
+      text += from + "\t" + to + "(" + std::to_string(100 * (1 + rng.Below(3))) + ")\n";
+    }
+  }
+  // Aliases (some cross-partition), dead declarations, a one-way leaf.
+  for (int a = 0; a < 3; ++a) {
+    const std::string& target = all[rng.Below(all.size())];
+    text += "alias" + std::to_string(a) + " = " + target + "\n";
+  }
+  if (rng.Below(2) == 0) {
+    text += "dead {" + all[rng.Below(all.size())] + "}\n";
+  }
+  if (rng.Below(2) == 0) {
+    const std::string& from = all[rng.Below(all.size())];
+    const std::string& to = all[rng.Below(all.size())];
+    if (from != to) {
+      text += "dead {" + from + "!" + to + "}\n";
+    }
+  }
+  text += "lonely\thub(900)\n";  // calls out only; its return route is invented
+  *host_count = static_cast<int>(all.size()) + 1;
+  return text;
+}
+
+TEST(ShardedMapper, FuzzRandomMapsMatchSerialAtEveryShardCount) {
+  size_t engaged = 0;
+  size_t fallbacks = 0;
+  for (uint64_t seed = 1; seed <= 120; ++seed) {
+    int hosts = 0;
+    std::string text = FuzzMap(seed, &hosts);
+    PipelineRun serial = RunPipeline(SingleFile(text), "hub", 0);
+    for (int shards : {2, 3, 5}) {
+      PipelineRun sharded = RunPipeline(SingleFile(text), "hub", shards);
+      ASSERT_EQ(sharded.output, serial.output) << "seed=" << seed << " shards=" << shards
+                                               << "\nmap:\n" << text;
+      if (sharded.stats.engaged) {
+        ++engaged;
+      } else {
+        ++fallbacks;
+      }
+    }
+  }
+  // Non-vacuousness: the sweep must exercise the engaged path heavily.  Fallbacks
+  // (alias-warped ties, degenerate partitions) are allowed but may not dominate.
+  EXPECT_GT(engaged, 120u) << "engaged=" << engaged << " fallbacks=" << fallbacks;
+}
+
+}  // namespace
+}  // namespace pathalias

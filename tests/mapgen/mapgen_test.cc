@@ -72,6 +72,35 @@ TEST(MapGen, GeneratedMapMapsAlmostCompletely) {
   EXPECT_GT(result.map.invented_links, 0u) << "the one-way leaves exist";
 }
 
+TEST(MapGen, UsenetScaleProfileHitsItsStructuralTargets) {
+  MapGenConfig config = MapGenConfig::UsenetScale(8000);
+  GeneratedMap map = GenerateUsenetMap(config);
+  EXPECT_GE(map.host_count, 7600) << "scale profile must land near its host target";
+  EXPECT_LE(map.host_count, 8400);
+  EXPECT_GE(map.domain_count, config.top_domains) << "domain trees carry the partition";
+  EXPECT_GT(map.dead_link_declarations + map.dead_host_declarations, 0)
+      << "dead declarations exercise penalty propagation at scale";
+
+  Diagnostics diag;
+  RunOptions options;
+  options.local = map.local;
+  RunResult result = pathalias::Run(map.files, options, &diag);
+  EXPECT_EQ(diag.error_count(), 0u) << diag.ToString();
+  EXPECT_GT(result.map.mapped_hosts, static_cast<size_t>(map.host_count) * 95 / 100)
+      << "scale maps must be essentially fully routable";
+  double unreachable_rate = static_cast<double>(result.map.unreachable_hosts) /
+                            static_cast<double>(result.map.mapped_hosts);
+  EXPECT_LT(unreachable_rate, 0.01);
+}
+
+TEST(MapGen, UsenetScaleIsDeterministicForSameSeed) {
+  GeneratedMap a = GenerateUsenetMap(MapGenConfig::UsenetScale(2000));
+  GeneratedMap b = GenerateUsenetMap(MapGenConfig::UsenetScale(2000));
+  ASSERT_EQ(a.files.size(), b.files.size());
+  EXPECT_EQ(a.Joined(), b.Joined());
+  EXPECT_EQ(a.local, b.local);
+}
+
 TEST(MapGen, PenalizedRouteFractionIsAFractionOfAPercent) {
   // Experiment E11's precondition at small scale.
   GeneratedMap map = GenerateUsenetMap(MapGenConfig::Small());
