@@ -32,6 +32,8 @@ struct RunOptions {
   // The local host (Dijkstra source).  Empty [R]: the first host declared in the input,
   // with a note (the original defaulted to the machine's own UUCP name, which would
   // make output depend on where the tool runs).
+  // pathalint: allow(R1): CLI option boundary — set before any input is parsed,
+  // so no interner exists yet to key it.
   std::string local;
 };
 

@@ -53,10 +53,14 @@ std::string Splice(const std::string& parent_route, const std::string& name, cha
 
 struct Frame {
   const PathLabel* label = nullptr;
+  // pathalint: allow(R1): print-walk scratch — output text being composed
+  // (domainized names), not a key; see RouteEntry::name.
   std::string display_name;
   std::string route;
   // Suffix appended to successor names while descending a domain chain (the domain's
   // own name, already combined with its domain ancestors').
+  // pathalint: allow(R1): print-walk scratch — accumulated ".domain" spelling for
+  // the subtree being rendered; exists only during output composition.
   std::string domain_suffix;
   // Syntax captured when this placeholder chain was entered.
   char entry_op = kDefaultOp;

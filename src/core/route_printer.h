@@ -35,6 +35,8 @@
 namespace pathalias {
 
 struct RouteEntry {
+  // pathalint: allow(R1): the output record itself — the domainized display name
+  // composed for printing; interner bytes cannot represent the composition.
   std::string name;   // output name (domainized for hosts reached through domains)
   std::string route;  // printf format string containing exactly one %s
   Cost cost = 0;      // total path cost, or first-hop cost under -f

@@ -137,8 +137,14 @@ void BasicBatchEngine<RouteSource>::MaybeDropCaches() {
 template <typename RouteSource>
 size_t BasicBatchEngine<RouteSource>::ResolveBatch(std::span<const std::string_view> hosts,
                                                    std::span<BatchLookup> results) {
+  // memory_order: acq_rel — the completed_ increment must release every read
+  // this batch performed on the (possibly old) route source, so that a retirer
+  // who acquires batches_completed() >= mark knows the mapping is unreferenced
+  // and may unmap it; started_ matches so the counter pair itself is ordered.
   batches_started_.fetch_add(1, std::memory_order_acq_rel);
   size_t resolved = ResolveBatchInner(hosts, results);
+  // memory_order: acq_rel — see batches_started_ above (release half is the
+  // load-bearing part; see also batches_completed() in batch_engine.h).
   batches_completed_.fetch_add(1, std::memory_order_acq_rel);
   return resolved;
 }

@@ -137,9 +137,14 @@ class BasicBatchEngine {
   // mark covers has fully drained and resources those batches could have read —
   // an old mapping after AdoptRoutes — are retirable.  Readable from any thread.
   uint64_t batches_started() const {
+    // memory_order: acquire — pairs with the acq_rel increment in ResolveBatch
+    // so a mark read here happens-after everything the counted batches did.
     return batches_started_.load(std::memory_order_acquire);
   }
   uint64_t batches_completed() const {
+    // memory_order: acquire — the retire gate: once this reaches a started
+    // mark, the old mapping's reads are all visible-before here and unmapping
+    // it cannot race them (RolloverController's drain loop relies on this).
     return batches_completed_.load(std::memory_order_acquire);
   }
 

@@ -121,6 +121,10 @@ class ResultCache {
     ++stats_.lookups;
     Set& set = *handle.set_;
     for (size_t way = 0; way < kWays; ++way) {
+      // memory_order: relaxed — keys are revocation flags, not publication: the
+      // value bytes a match licenses us to read are owner-written (this thread),
+      // so no acquire is needed to see them; a racing invalidation is allowed
+      // to miss a lookup already past this check (documented best-effort).
       if (set.keys[way].load(std::memory_order_relaxed) == key) {
         set.armed[way] = 1;
         // Safe even if an invalidation lands between the key check and this copy:
@@ -144,6 +148,9 @@ class ResultCache {
     Set& set = *handle.set_;
     size_t victim = kWays;  // first empty or matching way wins without the hand
     for (size_t way = 0; way < kWays; ++way) {
+      // memory_order: relaxed — owner-thread read of its own slots; the only
+      // concurrent writer (an invalidator) can only flip keys to kNoName, and
+      // either side of that race picks a valid victim.
       NameId current = set.keys[way].load(std::memory_order_relaxed);
       if (current == key || current == kNoName) {
         victim = way;
@@ -167,6 +174,9 @@ class ResultCache {
     // Value before key: a concurrent invalidator matching the OLD key must never
     // expose the new value under it, and publishing the new key only after the
     // bytes are in place keeps key↔value pairing coherent for our own next Get.
+    // memory_order: relaxed — no cross-thread publication happens through these
+    // stores: values are only ever read by this owner thread (program order
+    // suffices), and the invalidator reads keys alone, never values.
     set.keys[victim].store(kNoName, std::memory_order_relaxed);
     set.values[victim] = value;
     set.keys[victim].store(key, std::memory_order_relaxed);
@@ -186,6 +196,9 @@ class ResultCache {
     for (NameId key : keys) {
       Set& set = sets_[SetOf(key)];
       for (size_t way = 0; way < kWays; ++way) {
+        // memory_order: relaxed — best-effort revocation by contract: the
+        // invalidator touches keys only, the hard cut (no batch in flight) is
+        // provided by AdoptRoutes' sequencing, not by these operations.
         if (set.keys[way].load(std::memory_order_relaxed) == key) {
           set.keys[way].store(kNoName, std::memory_order_relaxed);
         }
@@ -203,6 +216,8 @@ class ResultCache {
   void InvalidateKeysWhere(Predicate&& condemned) {
     for (Set& set : sets_) {
       for (size_t way = 0; way < kWays; ++way) {
+        // memory_order: relaxed — same best-effort revocation contract as
+        // Invalidate: keys only, hard cut supplied by the caller's sequencing.
         NameId key = set.keys[way].load(std::memory_order_relaxed);
         if (key != kNoName && condemned(key)) {
           set.keys[way].store(kNoName, std::memory_order_relaxed);
@@ -221,11 +236,15 @@ class ResultCache {
   void VisitEntries(Visitor&& visit) {
     for (Set& set : sets_) {
       for (size_t way = 0; way < kWays; ++way) {
+        // memory_order: relaxed — owner-thread-only entry point (contract
+        // above): there is no concurrent access at all during a visit.
         NameId key = set.keys[way].load(std::memory_order_relaxed);
         if (key == kNoName) {
           continue;
         }
         if (!visit(key, &set.values[way])) {
+          // memory_order: relaxed — same owner-thread-only contract as the
+          // load above; revocation needs no ordering when nothing races.
           set.keys[way].store(kNoName, std::memory_order_relaxed);
         }
       }
@@ -235,6 +254,8 @@ class ResultCache {
   void Clear() {
     for (Set& set : sets_) {
       for (size_t way = 0; way < kWays; ++way) {
+        // memory_order: relaxed — owner-thread flush between batches; nothing
+        // concurrent reads these slots while Clear runs.
         set.keys[way].store(kNoName, std::memory_order_relaxed);
         set.armed[way] = 0;
       }

@@ -12,10 +12,10 @@ ThreadPool::ThreadPool(int width) : width_(width < 1 ? 1 : width) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& worker : workers_) {
     worker.join();
   }
@@ -29,6 +29,10 @@ int ThreadPool::HardwareWidth() {
 int ThreadPool::Drain(const std::function<void(int)>& job, int jobs) {
   int ran = 0;
   for (;;) {
+    // memory_order: relaxed — the ticket counter only partitions indices;
+    // publication of the batch (job_/job_count_) happened under mu_ before any
+    // worker could observe the new generation, and completion is published by
+    // the mu_-guarded completed_/drained_ rendezvous, not by this counter.
     int index = next_index_.fetch_add(1, std::memory_order_relaxed);
     if (index >= jobs) {
       return ran;
@@ -49,25 +53,27 @@ void ThreadPool::Run(int jobs, const std::function<void(int)>& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    support::MutexLock lock(mu_);
     job_ = &job;
     job_count_ = jobs;
+    // memory_order: relaxed — the reset is published to workers by the
+    // generation_ advance under mu_ below, not by this store.
     next_index_.store(0, std::memory_order_relaxed);
     completed_ = 0;
     drained_ = 0;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   int ran = Drain(job, jobs);
-  std::unique_lock<std::mutex> lock(mu_);
+  support::MutexLock lock(mu_);
   completed_ += ran;
   // Wait for the jobs AND for every worker to have left Drain for this generation.
   // The second half is the load-bearing part: it guarantees no worker can wake late
   // and claim indices (or dereference job_) after Run has returned and the engine has
   // destroyed the job closure or started the next batch.
-  done_cv_.wait(lock, [this] {
-    return completed_ == job_count_ && drained_ == static_cast<int>(workers_.size());
-  });
+  while (!(completed_ == job_count_ && drained_ == static_cast<int>(workers_.size()))) {
+    done_cv_.Wait(lock);
+  }
   job_ = nullptr;
 }
 
@@ -77,8 +83,10 @@ void ThreadPool::WorkerLoop() {
     const std::function<void(int)>* job;
     int jobs;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      support::MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) {
+        work_cv_.Wait(lock);
+      }
       if (stop_) {
         return;
       }
@@ -88,11 +96,11 @@ void ThreadPool::WorkerLoop() {
     }
     int ran = Drain(*job, jobs);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      support::MutexLock lock(mu_);
       completed_ += ran;
       ++drained_;
       if (completed_ == job_count_ && drained_ == static_cast<int>(workers_.size())) {
-        done_cv_.notify_all();
+        done_cv_.NotifyAll();
       }
     }
   }

@@ -16,12 +16,13 @@
 #define SRC_EXEC_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/support/annotated_mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace pathalias {
 namespace exec {
@@ -40,29 +41,32 @@ class ThreadPool {
 
   // Runs job(0) … job(jobs-1) across the pool and returns when all have finished.
   // The caller participates, so the pool is never idle while the caller spins.
-  void Run(int jobs, const std::function<void(int)>& job);
+  void Run(int jobs, const std::function<void(int)>& job) EXCLUDES(mu_);
 
   // The width to use when the caller asked for "all cores".
   static int HardwareWidth();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
   // Claims and runs jobs until the current batch's indices are exhausted; returns the
-  // number of jobs this thread completed.
-  int Drain(const std::function<void(int)>& job, int jobs);
+  // number of jobs this thread completed.  Runs unlocked: `job` and `jobs` are the
+  // caller's local copies of the batch, never the guarded members.
+  int Drain(const std::function<void(int)>& job, int jobs) EXCLUDES(mu_);
 
   const int width_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // batch posted (generation_ advanced) or stop
-  std::condition_variable done_cv_;   // all jobs of the current batch completed
-  const std::function<void(int)>* job_ = nullptr;  // valid while a batch is in flight
-  int job_count_ = 0;
-  std::atomic<int> next_index_{0};
-  int completed_ = 0;        // jobs finished this batch; guarded by mu_
-  int drained_ = 0;          // workers that left Drain this batch; guarded by mu_
-  uint64_t generation_ = 0;  // guarded by mu_; advanced once per Run()
-  bool stop_ = false;
-  std::vector<std::thread> workers_;
+  support::Mutex mu_;
+  support::CondVar work_cv_;  // batch posted (generation_ advanced) or stop
+  support::CondVar done_cv_;  // all jobs of the current batch completed
+  // Valid while a batch is in flight; workers copy it out under mu_ and call
+  // through the copy unlocked (Run's rendezvous keeps the pointee alive).
+  const std::function<void(int)>* job_ GUARDED_BY(mu_) = nullptr;
+  int job_count_ GUARDED_BY(mu_) = 0;
+  std::atomic<int> next_index_{0};  // job-index ticket counter, claimed unlocked
+  int completed_ GUARDED_BY(mu_) = 0;  // jobs finished this batch
+  int drained_ GUARDED_BY(mu_) = 0;    // workers that left Drain this batch
+  uint64_t generation_ GUARDED_BY(mu_) = 0;  // advanced once per Run()
+  bool stop_ GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written by the constructor only
 };
 
 }  // namespace exec

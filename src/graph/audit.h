@@ -51,6 +51,8 @@ struct AuditReport {
   size_t no_inbound_hosts = 0;
   double average_degree = 0.0;
   size_t max_degree = 0;
+  // pathalint: allow(R1): audit-report field — human-readable diagnostics copied
+  // out so the report outlives the graph (and its interner) it describes.
   std::string max_degree_host;
 
   size_t CountAtLeast(AuditSeverity severity) const;

@@ -34,6 +34,8 @@ inline constexpr Cost kDefaultCost = 4'000;
 inline constexpr Cost kUnreached = INT64_MAX / 4;
 
 struct CostSymbol {
+  // pathalint: allow(R1): cost-keyword table (DAILY, HOURLY, ...) — views into
+  // string literals, not host-name bytes; the interner never sees these.
   std::string_view name;
   Cost value;
 };

@@ -68,8 +68,13 @@ struct ParseError {
 };
 
 struct FileArtifact {
+  // pathalint: allow(R1): replay-artifact identity — the input file path as
+  // serialized to the state dir; diagnostics and staleness checks, not routing.
   std::string file_name;
   uint64_t digest = 0;
+  // pathalint: allow(R1): the artifact's own symbol table — serialized bytes as
+  // written in the source file; replay re-interns them into whatever interner
+  // the rebuilt graph owns, so the artifact must carry the raw spelling.
   std::vector<std::string> symbols;   // unique names, first-use order, bytes as written
   std::vector<Op> ops;                // the replay stream, in parse order
   std::vector<uint32_t> net_members;  // pooled member symbol indices for kNet ops

@@ -59,6 +59,8 @@ namespace incr {
 struct MapBuilderOptions {
   // The Dijkstra source.  Empty: the first host declared across the inputs (the
   // same default the batch pipeline applies), re-derived after every update.
+  // pathalint: allow(R1): options boundary — caller-supplied spelling captured
+  // before the builder's first graph (and interner) exists.
   std::string local;
   bool ignore_case = false;  // -i; fixed for the builder's lifetime
 };
@@ -170,6 +172,9 @@ class MapBuilder {
 
   std::unique_ptr<Graph> graph_;
   Mapper::Result map_;
+  // pathalint: allow(R1): survives interner replacement — every full rebuild
+  // discards the graph and its interner, so a NameId would dangle; the builder
+  // re-derives the id from these bytes after each rebuild.
   std::string local_name_;
 
   RouteSet routes_;

@@ -33,6 +33,8 @@ namespace pathalias {
 namespace incr {
 
 struct StateDirContents {
+  // pathalint: allow(R1): manifest serialization record — bytes round-tripped
+  // through the on-disk state dir, read back before any interner is rebuilt.
   std::string local;        // the effective local host the state was built with
   bool ignore_case = false;
   // Publish generation of the .pari image this state was saved alongside

@@ -30,6 +30,9 @@ extern "C" void DaemonSignalHandler(int signum) {
   char byte = signum == SIGHUP ? 'H' : 'T';
   // A full pipe means requests are already pending; dropping the byte is fine.
   int saved_errno = errno;
+  // pathalint: allow(R3): async-signal context — RetryEintr is a template call
+  // and retrying inside a handler is wrong anyway; a dropped self-pipe byte is
+  // explicitly fine (see comment above), so the bare one-shot write is correct.
   [[maybe_unused]] ssize_t ignored = ::write(fd, &byte, 1);
   errno = saved_errno;
 }

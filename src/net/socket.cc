@@ -67,6 +67,12 @@ std::optional<DatagramSocket> DatagramSocket::BindUnixAt(const std::string& path
   std::memcpy(address.sun_path, path.c_str(), path.size() + 1);
 
   DatagramSocket socket;
+  if (support::failpoint::Inject("net.socket")) {
+    // Simulated socket(2) failure (fd exhaustion, EMFILE/ENFILE): the daemon
+    // must report it and decline to start, exactly like the real thing.
+    SetError(error, "socket");
+    return std::nullopt;
+  }
   socket.fd_ = ::socket(AF_UNIX, SOCK_DGRAM, 0);
   if (socket.fd_ < 0) {
     SetError(error, "socket");
@@ -93,6 +99,13 @@ std::optional<DatagramSocket> DatagramSocket::BindUnix(const std::string& path,
 
 std::optional<DatagramSocket> DatagramSocket::BindUdp(uint16_t port, std::string* error) {
   DatagramSocket socket;
+  if (support::failpoint::Inject("net.socket")) {
+    // Same simulated socket(2) failure as BindUnixAt — one name covers both
+    // address families; a schedule can still target a single bind by arming
+    // around the call.
+    SetError(error, "socket");
+    return std::nullopt;
+  }
   socket.fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (socket.fd_ < 0) {
     SetError(error, "socket");

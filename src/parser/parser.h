@@ -25,6 +25,8 @@ namespace pathalias {
 // One input map file.  Site maps are distributed per-machine; file identity matters
 // because private-name scope and duplicate-link severity are per-file.
 struct InputFile {
+  // pathalint: allow(R1): input boundary — the OS-supplied map-file path, used
+  // for per-file scope and diagnostics; it exists before any interner does.
   std::string name;
   std::string content;
 };
@@ -53,6 +55,8 @@ class Parser {
 
  private:
   struct LinkSpec {
+    // pathalint: allow(R1): pre-interning token — a view into the scanner's
+    // buffer held only until the link is committed, at which point `id` rules.
     std::string_view name;
     NameId id = kNoName;
     char op = kDefaultOp;
@@ -88,6 +92,8 @@ class Parser {
   Graph* graph_;
   ParseRecorder* recorder_ = nullptr;
   Scanner* scanner_ = nullptr;
+  // pathalint: allow(R1): diagnostics only — error messages cite the input file
+  // path; it is never a routing name and never interned.
   std::string file_name_;
   Token token_;
   NameId first_host_ = kNoName;

@@ -76,6 +76,8 @@ class HeaderRewriter {
   std::string RewriteAddressList(std::string_view list, MailRole role,
                                  bool originator_field) const;
 
+  // pathalint: allow(R1): operator-configured spelling — the hostname exactly as
+  // it must appear in rewritten RFC-822 headers (an output format, not a key).
   std::string local_host_;
   const Resolver* resolver_;
   HeaderRewriteOptions options_;

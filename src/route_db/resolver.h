@@ -54,6 +54,8 @@ struct ResolveOptions {
 struct Resolution {
   bool ok = false;
   std::string route;     // final address, %s already substituted
+  // pathalint: allow(R1): rendered result for the caller — Resolution is the
+  // output edge (mailers print these); the interned form is BatchLookup.
   std::string via;       // database key that matched (host or domain)
   std::string argument;  // what was substituted for %s
   std::string error;     // set iff !ok

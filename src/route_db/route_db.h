@@ -43,6 +43,8 @@ struct RouteView {
 
 // One incremental route change: insert `name`'s route or replace it wholesale.
 struct RouteUpsert {
+  // pathalint: allow(R1): wire-format delta record — carries the bytes exactly
+  // as they arrived (file/stream) until ApplyDelta interns them.
   std::string name;
   std::string route;
   Cost cost = -1;

@@ -1,0 +1,92 @@
+// Lock types the clang thread-safety analysis can see through.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no capability attributes, so
+// code locking through them is invisible to -Wthread-safety: a GUARDED_BY
+// member would warn on every access, held lock or not.  These thin wrappers
+// re-export exactly the std behavior with the attributes attached — zero
+// state beyond the std object, every method a forwarding inline — so
+// annotated code costs nothing and the analysis sees every acquire/release.
+//
+// Usage (see src/exec/thread_pool.h for the worked example):
+//   support::Mutex mu_;
+//   int value_ GUARDED_BY(mu_);
+//   support::CondVar cv_;
+//   ...
+//   support::MutexLock lock(mu_);
+//   while (!ready_) cv_.Wait(lock);   // spell waits as explicit loops: the
+//   value_ = 1;                       // analysis checks this function's body,
+//                                     // not a predicate lambda's
+//
+// CondVar::Wait releases the mutex while parked and re-holds it before
+// returning, like std::condition_variable::wait; the analysis models the lock
+// as held across the call, which is exactly what the caller may assume at
+// every statement it can observe.
+
+#ifndef SRC_SUPPORT_ANNOTATED_MUTEX_H_
+#define SRC_SUPPORT_ANNOTATED_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/support/thread_annotations.h"
+
+namespace pathalias {
+namespace support {
+
+class CondVar;
+
+// std::mutex with the "mutex" capability attribute.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;  // MutexLock owns the underlying unique_lock
+  std::mutex mu_;
+};
+
+// Scoped lock over a Mutex; the one way this repo takes a lock (a bare
+// Lock/Unlock pair cannot be condvar-waited on and is easy to unbalance).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  ~MutexLock() RELEASE() {}  // lock_'s destructor performs the unlock
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;  // Wait needs the unique_lock to park on
+  std::unique_lock<std::mutex> lock_;
+};
+
+// std::condition_variable over Mutex/MutexLock.  No predicate overloads on
+// purpose: the wait loop belongs in the caller, where the analysis can check
+// the guarded accesses in the predicate (a lambda body is analyzed as its own
+// function and would not inherit the held-locks set).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  // Caller must hold `lock`; parked threads release it and re-hold on wakeup.
+  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace support
+}  // namespace pathalias
+
+#endif  // SRC_SUPPORT_ANNOTATED_MUTEX_H_

@@ -141,6 +141,9 @@ bool PublishFileDurably(const std::string& path, std::string_view bytes,
     std::remove(temp_path.c_str());
     return false;
   }
+  // pathalint: allow(R4): non-unix stdio fallback — the chaos/failpoint suite
+  // exercises the unix path above; this branch offers no durability to inject
+  // failures into and stays failpoint-free by design.
   if (std::rename(temp_path.c_str(), path.c_str()) != 0) {
     if (error != nullptr) *error = Describe("rename", temp_path);
     std::remove(temp_path.c_str());

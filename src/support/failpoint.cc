@@ -3,9 +3,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+
+#include "src/support/annotated_mutex.h"
+#include "src/support/thread_annotations.h"
 
 namespace pathalias {
 namespace support {
@@ -29,8 +31,8 @@ struct Entry {
 };
 
 struct Registry {
-  std::mutex mu;
-  std::unordered_map<std::string, Entry> entries;
+  Mutex mu;
+  std::unordered_map<std::string, Entry> entries GUARDED_BY(mu);
 };
 
 // Leaked on purpose: failpoints may be consulted from static destructors.
@@ -158,7 +160,7 @@ bool InjectSlow(std::string_view name) {
   Registry& r = TheRegistry();
   int fire_errno = 0;
   {
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     auto it = r.entries.find(std::string(name));
     if (it == r.entries.end() || !it->second.armed) return false;
     Entry& e = it->second;
@@ -181,8 +183,11 @@ bool Arm(std::string_view name, std::string_view schedule, std::string* error) {
   if (!ParseSchedule(schedule, &parsed, error)) return false;
   parsed.armed = true;
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   Entry& slot = r.entries[std::string(name)];
+  // memory_order: relaxed — g_armed_count is a hint, not a publication: a site
+  // that reads a stale zero misses at most the racing Arm, and any site that
+  // sees nonzero re-checks under r.mu in InjectSlow.
   if (!slot.armed) detail::g_armed_count.fetch_add(1, std::memory_order_relaxed);
   slot = parsed;
   return true;
@@ -215,39 +220,45 @@ size_t ArmFromEnv() {
   if (!ArmFromSpec(spec, &error)) {
     std::fprintf(stderr, "warning: PATHALIAS_FAILPOINTS: %s\n", error.c_str());
   }
+  // memory_order: relaxed — a count snapshot for the caller's log line; no
+  // other memory depends on its value.
   return detail::g_armed_count.load(std::memory_order_relaxed);
 }
 
 void Disarm(std::string_view name) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.entries.find(std::string(name));
   if (it == r.entries.end() || !it->second.armed) return;
   it->second.armed = false;
+  // memory_order: relaxed — see Arm: the count is advisory, the registry state
+  // it summarizes is published by r.mu.
   detail::g_armed_count.fetch_sub(1, std::memory_order_relaxed);
 }
 
 void Reset() {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   uint32_t armed = 0;
   for (const auto& [name, e] : r.entries) {
     if (e.armed) ++armed;
   }
   r.entries.clear();
+  // memory_order: relaxed — see Arm: the count is advisory, the registry state
+  // it summarizes is published by r.mu.
   detail::g_armed_count.fetch_sub(armed, std::memory_order_relaxed);
 }
 
 uint64_t Hits(std::string_view name) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.entries.find(std::string(name));
   return it == r.entries.end() ? 0 : it->second.hits;
 }
 
 uint64_t Fires(std::string_view name) {
   Registry& r = TheRegistry();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.entries.find(std::string(name));
   return it == r.entries.end() ? 0 : it->second.fires;
 }

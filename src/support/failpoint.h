@@ -49,6 +49,10 @@ bool InjectSlow(std::string_view name);
 // the schedule's errno and the fire was counted.  False costs one relaxed load
 // when nothing is armed anywhere in the process.
 inline bool Inject(std::string_view name) {
+  // memory_order: relaxed — pure fast-path gate: zero means "skip the slow
+  // path", and a racing Arm is only obliged to affect Injects that start after
+  // it; any nonzero reading takes the registry mutex in InjectSlow, which is
+  // what actually orders the schedule state.
   if (detail::g_armed_count.load(std::memory_order_relaxed) == 0) [[likely]] {
     return false;
   }

@@ -1,0 +1,90 @@
+// Clang thread-safety-analysis annotations, no-ops everywhere else.
+//
+// These macros attach compile-time locking contracts to types, members, and
+// functions: which mutex guards a member, which lock a function requires, what
+// a scoped guard acquires.  Under clang with -Wthread-safety (the clang-lint CI
+// leg builds with -Wthread-safety -Wthread-safety-beta promoted to errors, see
+// docs/INVARIANTS.md#i7) violations — touching a GUARDED_BY member without its
+// mutex, returning with a lock held, double-acquire — are build errors in every
+// path of every function, including paths no test executes.  Under gcc and
+// other compilers every macro expands to nothing.
+//
+// The vocabulary mirrors the LLVM/Abseil convention
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so the names read as
+// the ecosystem expects.  Annotate with the repo's own lock types
+// (support::Mutex / support::MutexLock in annotated_mutex.h) — std::mutex
+// carries no capability attributes in libstdc++, so the analysis cannot see
+// through it.
+//
+// How to annotate a new mutex (the README "Static analysis" section shows a
+// worked example):
+//   1. declare the lock as support::Mutex, not std::mutex;
+//   2. tag every member it protects with GUARDED_BY(mu_);
+//   3. lock through support::MutexLock (scoped) or Lock/Unlock (annotated);
+//   4. tag helper functions that expect the lock held with REQUIRES(mu_),
+//      and public entry points that must NOT hold it with EXCLUDES(mu_).
+
+#ifndef SRC_SUPPORT_THREAD_ANNOTATIONS_H_
+#define SRC_SUPPORT_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PATHALIAS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PATHALIAS_THREAD_ANNOTATION_(x)  // no-op: gcc has no thread-safety analysis
+#endif
+
+// A type that is a lock ("capability").  The string names the capability kind
+// in diagnostics; "mutex" is the conventional value.
+#define CAPABILITY(x) PATHALIAS_THREAD_ANNOTATION_(capability(x))
+
+// A RAII type whose constructor acquires a capability and whose destructor
+// releases it (support::MutexLock).
+#define SCOPED_CAPABILITY PATHALIAS_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data member readable/writable only while holding the named mutex.
+#define GUARDED_BY(x) PATHALIAS_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer member whose *pointee* is protected by the named mutex (the pointer
+// itself may be read freely).
+#define PT_GUARDED_BY(x) PATHALIAS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Lock-ordering declarations, for deadlock diagnosis across multiple mutexes.
+#define ACQUIRED_BEFORE(...) PATHALIAS_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) PATHALIAS_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+// The function may only be called with the named capabilities already held
+// (and does not release them).
+#define REQUIRES(...) PATHALIAS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  PATHALIAS_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires/releases the named capabilities itself (a Lock or
+// Unlock method, or a function that locks internally and returns still holding).
+#define ACQUIRE(...) PATHALIAS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  PATHALIAS_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) PATHALIAS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  PATHALIAS_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+
+// The function attempts the acquire; the first argument is the return value
+// that means success.
+#define TRY_ACQUIRE(...) PATHALIAS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// The function must be called WITHOUT the named capabilities held (it acquires
+// them internally and releases before returning) — the anti-deadlock contract
+// for public entry points.
+#define EXCLUDES(...) PATHALIAS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (for code the analysis cannot
+// follow, e.g. a lock taken on the other side of a callback boundary).
+#define ASSERT_CAPABILITY(x) PATHALIAS_THREAD_ANNOTATION_(assert_capability(x))
+
+// The function returns a reference to the named capability (accessor pattern).
+#define RETURN_CAPABILITY(x) PATHALIAS_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function.  Every use must say
+// why in an adjacent comment; pathalint's fixture corpus keeps the list honest.
+#define NO_THREAD_SAFETY_ANALYSIS PATHALIAS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // SRC_SUPPORT_THREAD_ANNOTATIONS_H_

@@ -150,7 +150,7 @@ void ArmRandomFaults(Rng& rng, const std::vector<std::string>& sites, size_t cou
 
 // One `routedb update` cycle under whatever faults are armed.  Failures are the
 // POINT — the return value only says whether a republish landed.
-bool TryUpdateCycle(const fs::path& dir, const std::string& image_path,
+bool TryUpdateCycle(const fs::path& /*dir*/, const std::string& image_path,
                     const std::vector<InputFile>& files) {
   WriteMapFiles(files);
   std::vector<InputFile> loaded;

@@ -1,0 +1,34 @@
+// R2 fixtures: durable publish discipline (docs/INVARIANTS.md#r2).
+
+#include <cstdio>
+#include <fcntl.h>
+#include <string>
+#include <unistd.h>
+
+#include "src/support/durable_file.h"
+#include "src/support/failpoint.h"
+
+namespace pathalias {
+
+bool R2Violating(int fd, const std::string& from, const std::string& to) {
+  if (support::failpoint::Inject("fixture.sync")) {
+    return false;
+  }
+  if (::fsync(fd) != 0) {  // EXPECT-FINDING: R2
+    return false;
+  }
+  return std::rename(from.c_str(), to.c_str()) == 0;  // EXPECT-FINDING: R2
+}
+
+int R2ViolatingFlags() {
+  // O_TRUNC is the torn-file window in one flag.
+  return O_WRONLY | O_CREAT | O_TRUNC;  // EXPECT-FINDING: R2
+}
+
+bool R2Conforming(const std::string& path, const std::string& bytes, std::string* error) {
+  // The one sanctioned publish path; prose mentioning fsync or rename in a
+  // comment is not a finding.
+  return support::PublishFileDurably(path, bytes, "fixture.publish", error);
+}
+
+}  // namespace pathalias

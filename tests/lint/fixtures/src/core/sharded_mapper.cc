@@ -1,0 +1,8 @@
+// R6 exception fixture: this exact path (src/core/sharded_mapper.cc) carries a
+// file-level exception in R6_EXCEPTIONS for the fork-join pool header — the
+// include below must NOT fire even though core→exec is banned in the matrix.
+
+#include "src/core/sharded_mapper.h"
+
+#include "src/exec/thread_pool.h"
+#include "src/support/interner.h"

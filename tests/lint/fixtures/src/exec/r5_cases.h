@@ -1,0 +1,41 @@
+// R5 fixtures: memory_order rationale (docs/INVARIANTS.md#r5).
+
+#ifndef FIXTURE_R5_CASES_H_
+#define FIXTURE_R5_CASES_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace pathalias {
+namespace exec {
+
+class R5Cases {
+ public:
+  void Violating() {
+    counter_.fetch_add(1, std::memory_order_relaxed);  // EXPECT-FINDING: R5
+    gate_.store(true, std::memory_order_release);  // EXPECT-FINDING: R5
+  }
+
+  void Conforming() {
+    // memory_order: relaxed — statistics counter; nothing is published through
+    // it and torn totals are acceptable in a monitoring read.
+    counter_.fetch_add(1, std::memory_order_relaxed);
+    // Sequential consistency needs no rationale comment.
+    gate_.store(true);
+  }
+
+  bool ConformingAcquire() {
+    // memory_order: acquire — pairs with the release store in Conforming so
+    // the reader sees everything written before the gate flipped.
+    return gate_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<uint64_t> counter_{0};
+  std::atomic<bool> gate_{false};
+};
+
+}  // namespace exec
+}  // namespace pathalias
+
+#endif  // FIXTURE_R5_CASES_H_

@@ -1,0 +1,35 @@
+// R4 fixtures: failpoint coverage (docs/INVARIANTS.md#r4).
+
+#include <fcntl.h>
+#include <string>
+
+#include "src/support/durable_file.h"
+#include "src/support/failpoint.h"
+
+namespace pathalias {
+namespace image {
+
+bool R4PublishViolating(const std::string& path, const std::string& bytes,
+                        const std::string& prefix, std::string* error) {
+  // A variable prefix hides the failpoint name from chaos schedules.
+  return support::PublishFileDurably(path, bytes, prefix, error);  // EXPECT-FINDING: R4
+}
+
+bool R4PublishConforming(const std::string& path, const std::string& bytes,
+                         std::string* error) {
+  return support::PublishFileDurably(path, bytes, "fixture.image.publish", error);
+}
+
+int R4SyscallViolating(const std::string& path) {
+  return ::open(path.c_str(), O_RDONLY);  // EXPECT-FINDING: R4
+}
+
+int R4SyscallConforming(const std::string& path) {
+  if (support::failpoint::Inject("fixture.image.open")) {
+    return -1;
+  }
+  return ::open(path.c_str(), O_RDONLY);
+}
+
+}  // namespace image
+}  // namespace pathalias

@@ -1,0 +1,37 @@
+// R3 fixtures: io_retry syscall discipline (docs/INVARIANTS.md#r3).
+
+#include <cstddef>
+#include <unistd.h>
+
+#include "src/support/io_retry.h"
+
+namespace pathalias {
+namespace net {
+
+ssize_t R3Violating(int fd, const char* buffer, size_t count) {
+  return ::write(fd, buffer, count);  // EXPECT-FINDING: R3
+}
+
+ssize_t R3Conforming(int fd, char* buffer, size_t count) {
+  // Single-expression lambda, the common shape.
+  ssize_t n = support::RetryEintr([&] { return ::read(fd, buffer, count); });
+  if (n < 0) {
+    return -1;
+  }
+  // Multi-statement lambda: the wrapper must still be seen through the body.
+  size_t length = count;
+  return support::RetryEintr([&] {
+    length = count / 2;
+    return ::recvfrom(fd, buffer, length, 0, nullptr, nullptr);
+  });
+}
+
+void R3Allowlisted(int fd) {
+  char byte = 'T';
+  // pathalint: allow(R3): fixture of the signal-handler exception — one-shot
+  // self-pipe write where retrying is wrong and a dropped byte is fine.
+  [[maybe_unused]] ssize_t ignored = ::write(fd, &byte, 1);
+}
+
+}  // namespace net
+}  // namespace pathalias

@@ -1,0 +1,49 @@
+// R1 fixtures: interner-only name ownership (docs/INVARIANTS.md#r1).
+
+#ifndef FIXTURE_R1_CASES_H_
+#define FIXTURE_R1_CASES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/support/interner.h"
+
+namespace pathalias {
+
+struct R1Violations {
+  std::string dest;  // EXPECT-FINDING: R1
+  std::string_view host_name;  // EXPECT-FINDING: R1
+  std::vector<std::string> aliases;  // EXPECT-FINDING: R1
+};
+
+struct R1Conforming {
+  // Keying on NameId is the rule; these are fine.
+  NameId dest = kNoName;
+  std::vector<NameId> aliases;
+  // A string member that is not name bytes is fine too.
+  std::string scratch_buffer_;
+};
+
+struct R1Allowlisted {
+  // pathalint: allow(R1): fixture of a justified exception — rendered output
+  // edge, mirrors Resolution::via in the real tree.
+  std::string via;
+  // A pragma with no justification does NOT suppress:
+  // pathalint: allow(R1):
+  std::string alias_of_record;  // EXPECT-FINDING: R1
+};
+
+class R1Locals {
+ public:
+  // Locals inside function bodies are not owned members; no finding here.
+  void Compose() {
+    std::string name = "local scratch";
+    std::string host_name = name + ".example";
+    (void)host_name;
+  }
+};
+
+}  // namespace pathalias
+
+#endif  // FIXTURE_R1_CASES_H_

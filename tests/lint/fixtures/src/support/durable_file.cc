@@ -1,0 +1,27 @@
+// R2 scope fixture: this path (src/support/durable_file.cc) is the ONE place
+// raw publish primitives are legal — no R2 findings expected anywhere in it.
+
+#include <cstdio>
+#include <fcntl.h>
+#include <string>
+#include <unistd.h>
+
+#include "src/support/failpoint.h"
+
+namespace pathalias {
+namespace support {
+
+bool FixturePublish(int fd, const std::string& from, const std::string& to) {
+  if (failpoint::Inject("fixture.publish.rename")) {
+    return false;
+  }
+  int flags = O_WRONLY | O_CREAT | O_TRUNC;
+  (void)flags;
+  if (::fsync(fd) != 0) {
+    return false;
+  }
+  return std::rename(from.c_str(), to.c_str()) == 0;
+}
+
+}  // namespace support
+}  // namespace pathalias
